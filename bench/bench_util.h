@@ -1,0 +1,43 @@
+// Shared helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "stats/histogram.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+
+namespace prism::bench {
+
+inline std::string us(std::int64_t ns) {
+  return stats::Table::cell(static_cast<double>(ns) / 1e3);
+}
+
+inline std::string us(double ns) { return stats::Table::cell(ns / 1e3); }
+
+inline std::string pct(double fraction) {
+  return stats::Table::cell(fraction * 100.0, 0) + "%";
+}
+
+inline std::string kpps(double pps) {
+  return stats::Table::cell(pps / 1e3, 0);
+}
+
+inline void add_latency_row(stats::Table& table, const std::string& label,
+                            const stats::Histogram& h,
+                            const std::string& extra = "") {
+  const auto s = stats::summarize(h);
+  std::vector<std::string> row{label,        us(s.min_ns), us(s.mean_ns),
+                               us(s.p50_ns), us(s.p90_ns), us(s.p99_ns)};
+  if (!extra.empty()) row.push_back(extra);
+  table.add_row(std::move(row));
+}
+
+inline void print_header(const char* figure, const char* description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, description);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace prism::bench

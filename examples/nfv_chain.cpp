@@ -1,0 +1,79 @@
+// NFV-chain scenario: the paper's other multi-stage pipeline (§I).
+//
+// A five-stage virtual network function chain processed by one core,
+// carrying a bulk flow plus a small control-traffic flow. Shows, with the
+// engine-level synthetic pipeline, how control packets fare under each
+// processing mode as the chain deepens — the generalization of the
+// container-overlay result.
+#include <algorithm>
+#include <cstdio>
+
+#include "harness/synthetic_pipeline.h"
+#include "stats/histogram.h"
+#include "stats/table.h"
+
+namespace {
+
+// Feeds alternating bulk bursts and single control packets; returns the
+// control packets' completion latencies.
+prism::stats::Histogram run_chain(prism::kernel::NapiMode mode,
+                                  int stages) {
+  using namespace prism;
+  harness::SyntheticPipeline p(mode, stages);
+
+  // 20 rounds: one 64-packet bulk burst, then one control packet landing
+  // in the middle of the burst's processing.
+  for (int round = 0; round < 20; ++round) {
+    const sim::Time t = round * sim::microseconds(400);
+    p.sim.schedule_at(t, [&p] { p.feed(*p.source, 64); });
+    p.sim.schedule_at(t + sim::microseconds(20),
+                      [&p] { p.feed(*p.source_high, 1); });
+  }
+  p.sim.run();
+
+  stats::Histogram control_latency;
+  // Control packets are the high-priority deliveries; latency is
+  // completion minus injection time (rounds are far enough apart that
+  // attribution by order is exact).
+  int control_index = 0;
+  for (const auto& d : p.deliveries) {
+    if (!d.high) continue;
+    const sim::Time injected = control_index * sim::microseconds(400) +
+                               sim::microseconds(20);
+    control_latency.record(d.at - injected);
+    ++control_index;
+  }
+  return control_latency;
+}
+
+}  // namespace
+
+int main() {
+  using namespace prism;
+  std::printf(
+      "Control-packet latency through an N-stage NFV chain shared with\n"
+      "bulk bursts (one core, batch size 64):\n\n");
+
+  stats::Table table({"stages", "vanilla p50(us)", "prism-batch p50(us)",
+                      "prism-sync p50(us)"});
+  for (int stages = 3; stages <= 6; ++stages) {
+    const auto vanilla =
+        run_chain(kernel::NapiMode::kVanilla, stages);
+    const auto batch =
+        run_chain(kernel::NapiMode::kPrismBatch, stages);
+    const auto sync = run_chain(kernel::NapiMode::kPrismSync, stages);
+    table.add_row(
+        {std::to_string(stages),
+         stats::Table::cell(
+             static_cast<double>(vanilla.percentile(0.5)) / 1e3),
+         stats::Table::cell(
+             static_cast<double>(batch.percentile(0.5)) / 1e3),
+         stats::Table::cell(
+             static_cast<double>(sync.percentile(0.5)) / 1e3)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "The interleaving penalty compounds with chain depth for vanilla\n"
+      "NAPI; PRISM keeps control-packet latency nearly flat.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Quickstart: build the paper's two-host testbed, run the core
+// priority-differentiation experiment in all three modes, and print the
+// latency a high-priority flow sees with and without background traffic.
+//
+//   $ ./examples/quickstart
+//
+// This is the 60-second tour of the library: Testbed -> scenario ->
+// histogram -> table.
+#include <cstdio>
+
+#include "harness/experiment.h"
+#include "stats/summary.h"
+#include "stats/table.h"
+
+int main() {
+  using namespace prism;
+
+  std::printf("PRISM quickstart: high-priority overlay flow latency\n");
+  std::printf("(1 Kpps probe; background = 300 Kpps low-priority UDP)\n\n");
+
+  stats::Table table({"configuration", "p50 (us)", "mean (us)", "p99 (us)",
+                      "rx-cpu util"});
+
+  auto row = [&](const char* label, kernel::NapiMode mode, bool busy) {
+    harness::PriorityScenarioConfig cfg;
+    cfg.mode = mode;
+    cfg.busy = busy;
+    cfg.duration = sim::milliseconds(300);
+    const auto r = harness::run_priority_scenario(cfg);
+    const auto s = stats::summarize(r.latency);
+    table.add_row({label,
+                   stats::Table::cell(static_cast<double>(s.p50_ns) / 1e3),
+                   stats::Table::cell(s.mean_ns / 1e3),
+                   stats::Table::cell(static_cast<double>(s.p99_ns) / 1e3),
+                   stats::Table::cell(r.rx_cpu_utilization * 100.0) + "%"});
+  };
+
+  row("idle   / vanilla", kernel::NapiMode::kVanilla, false);
+  row("busy   / vanilla", kernel::NapiMode::kVanilla, true);
+  row("busy   / prism-batch", kernel::NapiMode::kPrismBatch, true);
+  row("busy   / prism-sync", kernel::NapiMode::kPrismSync, true);
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "PRISM reduces the latency of high-priority flows under load by\n"
+      "preempting low-priority batches (prism-batch) or running their\n"
+      "pipeline stages to completion (prism-sync). See DESIGN.md.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "apps/http_server.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace prism::apps {
+
+HttpServer::HttpServer(Config config) : cfg_(config) {
+  assert(cfg_.host && cfg_.ns && cfg_.cpu && cfg_.connection &&
+         "HttpServer: bad config");
+  if (cfg_.response_size < kProbeSize) {
+    throw std::invalid_argument("HttpServer: response smaller than probe");
+  }
+  cfg_.connection->on_data = [this](std::span<const std::uint8_t> data,
+                                    sim::Time) { on_stream_data(data); };
+}
+
+void HttpServer::on_stream_data(std::span<const std::uint8_t> data) {
+  framer_.push(data);
+  while (auto msg = framer_.next()) pending_.push_back(std::move(*msg));
+  if (!busy_ && !pending_.empty()) {
+    busy_ = true;
+    // Wakeup from epoll_wait, then handle the request.
+    const auto& cost = cfg_.host->cost();
+    cfg_.cpu->run_task(cost.wakeup_cost, [this] { process_next(); });
+  }
+}
+
+void HttpServer::process_next() {
+  if (pending_.empty()) {
+    busy_ = false;
+    return;
+  }
+  std::vector<std::uint8_t> request = std::move(pending_.front());
+  pending_.pop_front();
+  const auto probe = decode_probe(request);
+  const auto& cost = cfg_.host->cost();
+  const sim::Duration work = cost.syscall_cost +
+                             cost.copy_cost(request.size()) +
+                             cfg_.service_time;
+  cfg_.cpu->run_task(work, [this, probe] {
+    ++served_;
+    Probe echo = probe.value_or(Probe{});
+    // The response echoes the request probe, padded to the file size.
+    std::vector<std::uint8_t> body =
+        encode_probe(echo, cfg_.response_size);
+    cfg_.connection->send(MessageFramer::frame(body), *cfg_.cpu);
+    process_next();
+  });
+}
+
+Wrk2Client::Wrk2Client(sim::Simulator& sim, Config config)
+    : sim_(sim), cfg_(config), rng_(config.seed) {
+  assert(cfg_.host && cfg_.ns && cfg_.cpu && cfg_.connection &&
+         "Wrk2Client: bad config");
+  if (cfg_.rate_rps <= 0) {
+    throw std::invalid_argument("Wrk2Client: rate must be positive");
+  }
+  if (cfg_.request_size < kProbeSize) {
+    throw std::invalid_argument("Wrk2Client: request smaller than probe");
+  }
+  interval_ = static_cast<sim::Duration>(1e9 / cfg_.rate_rps);
+  cfg_.connection->on_data = [this](std::span<const std::uint8_t> data,
+                                    sim::Time) { on_stream_data(data); };
+}
+
+void Wrk2Client::start() {
+  sim_.schedule_at(cfg_.start_at, [this] { tick(); });
+}
+
+void Wrk2Client::tick() {
+  if (sim_.now() >= cfg_.stop_at) return;
+  sim::Duration gap = interval_;
+  if (cfg_.jitter > 0) {
+    gap = static_cast<sim::Duration>(
+        static_cast<double>(interval_) *
+        rng_.uniform(1.0 - cfg_.jitter, 1.0 + cfg_.jitter));
+    if (gap < 1) gap = 1;
+  }
+  sim_.schedule(gap, [this] { tick(); });
+  Probe probe;
+  probe.seq = next_seq_++;
+  // wrk2: latency is measured from the request's *scheduled* time, so a
+  // backed-up connection cannot hide queueing delay (no coordinated
+  // omission).
+  probe.sent_at = sim_.now();
+  ++sent_;
+  cfg_.connection->send(
+      MessageFramer::frame(encode_probe(probe, cfg_.request_size)),
+      *cfg_.cpu);
+}
+
+void Wrk2Client::on_stream_data(std::span<const std::uint8_t> data) {
+  framer_.push(data);
+  while (auto msg = framer_.next()) {
+    if (const auto probe = decode_probe(*msg)) {
+      ++completed_;
+      latency_.record(sim_.now() - probe->sent_at);
+    }
+  }
+}
+
+double Wrk2Client::requests_per_second() const noexcept {
+  const double span = sim::to_s(cfg_.stop_at - cfg_.start_at);
+  return span <= 0 ? 0.0 : static_cast<double>(completed_) / span;
+}
+
+}  // namespace prism::apps

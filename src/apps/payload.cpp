@@ -1,0 +1,77 @@
+#include "apps/payload.h"
+
+#include <stdexcept>
+
+namespace prism::apps {
+
+namespace {
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint64_t get_u64(std::span<const std::uint8_t> d, std::size_t at) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | d[at + static_cast<size_t>(i)];
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_probe(const Probe& probe,
+                                       std::size_t payload_size) {
+  if (payload_size < kProbeSize) {
+    throw std::invalid_argument("encode_probe: payload smaller than probe");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(payload_size);
+  put_u64(out, probe.seq);
+  put_u64(out, static_cast<std::uint64_t>(probe.sent_at));
+  out.push_back(probe.reply ? 1 : 0);
+  out.resize(payload_size, 0);
+  return out;
+}
+
+std::optional<Probe> decode_probe(std::span<const std::uint8_t> payload) {
+  if (payload.size() < kProbeSize) return std::nullopt;
+  Probe p;
+  p.seq = get_u64(payload, 0);
+  p.sent_at = static_cast<sim::Time>(get_u64(payload, 8));
+  p.reply = payload[16] != 0;
+  return p;
+}
+
+void MessageFramer::push(std::span<const std::uint8_t> data) {
+  buffer_.insert(buffer_.end(), data.begin(), data.end());
+}
+
+std::optional<std::vector<std::uint8_t>> MessageFramer::next() {
+  if (buffer_.size() < 4) return std::nullopt;
+  const std::uint32_t len =
+      (static_cast<std::uint32_t>(buffer_[0]) << 24) |
+      (static_cast<std::uint32_t>(buffer_[1]) << 16) |
+      (static_cast<std::uint32_t>(buffer_[2]) << 8) |
+      static_cast<std::uint32_t>(buffer_[3]);
+  if (buffer_.size() < 4u + len) return std::nullopt;
+  std::vector<std::uint8_t> body(buffer_.begin() + 4,
+                                 buffer_.begin() + 4 + len);
+  buffer_.erase(buffer_.begin(), buffer_.begin() + 4 + len);
+  return body;
+}
+
+std::vector<std::uint8_t> MessageFramer::frame(
+    std::span<const std::uint8_t> body) {
+  std::vector<std::uint8_t> out;
+  out.reserve(4 + body.size());
+  const auto len = static_cast<std::uint32_t>(body.size());
+  out.push_back(static_cast<std::uint8_t>(len >> 24));
+  out.push_back(static_cast<std::uint8_t>(len >> 16));
+  out.push_back(static_cast<std::uint8_t>(len >> 8));
+  out.push_back(static_cast<std::uint8_t>(len));
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+}  // namespace prism::apps

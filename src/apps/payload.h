@@ -1,0 +1,59 @@
+// Application payload encoding.
+//
+// Workload generators embed sequence numbers and send timestamps *inside
+// the packet payload*, exactly as sockperf/memaslap/wrk do: measurement
+// data travels through the real byte path (encapsulation, GRO merges,
+// socket copies), so any corruption or mis-delivery breaks the measurement
+// loudly instead of silently.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace prism::apps {
+
+/// Probe header embedded at the start of measurement payloads.
+struct Probe {
+  std::uint64_t seq = 0;
+  sim::Time sent_at = 0;
+  /// Echo requested (sockperf --reply-every semantics).
+  bool reply = false;
+};
+
+/// Bytes occupied by an encoded probe.
+constexpr std::size_t kProbeSize = 24;
+
+/// Encodes a probe padded with zeros to `payload_size` (>= kProbeSize;
+/// throws std::invalid_argument otherwise).
+std::vector<std::uint8_t> encode_probe(const Probe& probe,
+                                       std::size_t payload_size);
+
+/// Decodes a probe from the start of `payload`; nullopt if too short.
+std::optional<Probe> decode_probe(std::span<const std::uint8_t> payload);
+
+/// Length-prefixed message framing for TCP byte streams
+/// ([u32 length][body...]).
+class MessageFramer {
+ public:
+  /// Appends stream bytes.
+  void push(std::span<const std::uint8_t> data);
+
+  /// Extracts the next complete message body, nullopt when incomplete.
+  std::optional<std::vector<std::uint8_t>> next();
+
+  /// Frames a message body for sending.
+  static std::vector<std::uint8_t> frame(
+      std::span<const std::uint8_t> body);
+
+  std::size_t buffered_bytes() const noexcept { return buffer_.size(); }
+
+ private:
+  std::deque<std::uint8_t> buffer_;
+};
+
+}  // namespace prism::apps

@@ -1,0 +1,139 @@
+// Experiment scenarios reproducing the paper's evaluation (§V).
+//
+// Each runner builds a fresh testbed, deploys the paper's workload
+// combination, runs it for a warmup + measurement window, and returns the
+// metrics the corresponding figure reports. Benches and examples call
+// these; tests assert their qualitative claims.
+#pragma once
+
+#include <cstdint>
+
+#include "kernel/cost_model.h"
+#include "kernel/napi.h"
+#include "sim/time.h"
+#include "stats/histogram.h"
+#include "stats/summary.h"
+
+namespace prism::harness {
+
+// --------------------------------------------------------------------
+// Priority-differentiation scenario (Figs. 3, 9, 10, 11): a low-rate
+// high-priority probe flow measured against optional low-priority
+// background traffic, on the overlay or host path.
+// --------------------------------------------------------------------
+
+struct PriorityScenarioConfig {
+  kernel::NapiMode mode = kernel::NapiMode::kVanilla;
+  bool overlay = true;  ///< container path (3 stages) vs host path (1)
+  bool busy = true;     ///< background traffic present?
+  double bg_rate_pps = 300'000.0;
+  /// Background TX burst size (sockperf --burst; see SockperfClient).
+  int bg_burst = 64;
+  double probe_rate_pps = 1'000.0;
+  std::size_t probe_payload = 64;
+  std::size_t bg_payload = 64;
+  sim::Duration warmup = sim::milliseconds(50);
+  sim::Duration duration = sim::milliseconds(500);
+  kernel::CostModel cost{};
+};
+
+struct PriorityScenarioResult {
+  stats::Histogram latency;  ///< probe one-way latency (RTT/2), ns
+  double rx_cpu_utilization = 0.0;  ///< server packet-processing core
+  std::uint64_t probes_sent = 0;
+  std::uint64_t replies = 0;
+  std::uint64_t bg_sent = 0;
+  std::uint64_t bg_received = 0;
+  std::uint64_t server_ring_drops = 0;
+};
+
+PriorityScenarioResult run_priority_scenario(
+    const PriorityScenarioConfig& cfg);
+
+// --------------------------------------------------------------------
+// Streamlined-processing scenario (Fig. 8): one 300 Kpps overlay flow
+// (marked high priority) with sampled latency, no background traffic.
+// Also used for the max-throughput sweep.
+// --------------------------------------------------------------------
+
+struct StreamlinedScenarioConfig {
+  kernel::NapiMode mode = kernel::NapiMode::kVanilla;
+  double rate_pps = 300'000.0;
+  std::size_t payload = 64;
+  int reply_every = 100;  ///< sockperf under-load sampling
+  sim::Duration warmup = sim::milliseconds(50);
+  sim::Duration duration = sim::milliseconds(500);
+  kernel::CostModel cost{};
+};
+
+struct StreamlinedScenarioResult {
+  stats::Histogram latency;        ///< sampled one-way latency, ns
+  double delivered_pps = 0.0;      ///< goodput at the server application
+  double offered_pps = 0.0;        ///< achieved client send rate
+  double rx_cpu_utilization = 0.0;
+  std::uint64_t server_ring_drops = 0;
+};
+
+StreamlinedScenarioResult run_streamlined_scenario(
+    const StreamlinedScenarioConfig& cfg);
+
+// --------------------------------------------------------------------
+// Memcached scenario (Fig. 12): memaslap-style closed loop against a
+// containerized KV store, with optional background traffic.
+// --------------------------------------------------------------------
+
+struct MemcachedScenarioConfig {
+  kernel::NapiMode mode = kernel::NapiMode::kVanilla;
+  bool busy = true;
+  double bg_rate_pps = 300'000.0;
+  int bg_burst = 64;
+  int concurrency = 4;
+  double get_ratio = 0.9;
+  std::size_t value_size = 1024;
+  sim::Duration warmup = sim::milliseconds(50);
+  sim::Duration duration = sim::milliseconds(500);
+  kernel::CostModel cost{};
+  std::uint64_t seed = 1;
+};
+
+struct MemcachedScenarioResult {
+  stats::Histogram latency;  ///< request RTT, ns
+  double ops_per_second = 0.0;
+  std::uint64_t completed = 0;
+  std::uint64_t timeouts = 0;
+  double rx_cpu_utilization = 0.0;
+};
+
+MemcachedScenarioResult run_memcached_scenario(
+    const MemcachedScenarioConfig& cfg);
+
+// --------------------------------------------------------------------
+// Web-server scenario (Fig. 13): wrk2-style constant-rate HTTP over one
+// TCP connection, against TCP bulk background traffic (64 KB messages,
+// TSO-fragmented).
+// --------------------------------------------------------------------
+
+struct WebScenarioConfig {
+  kernel::NapiMode mode = kernel::NapiMode::kVanilla;
+  bool busy = true;
+  double bg_rate_mps = 20'000.0;  ///< background messages (64 KB) per sec
+  std::size_t bg_message_size = 64 * 1024;
+  double web_rate_rps = 20'000.0;
+  std::size_t response_size = 1024;
+  sim::Duration warmup = sim::milliseconds(50);
+  sim::Duration duration = sim::milliseconds(500);
+  kernel::CostModel cost{};
+};
+
+struct WebScenarioResult {
+  stats::Histogram latency;  ///< response time from scheduled send, ns
+  double requests_per_second = 0.0;
+  std::uint64_t sent = 0;
+  std::uint64_t completed = 0;
+  double rx_cpu_utilization = 0.0;
+  std::uint64_t bg_bytes_received = 0;
+};
+
+WebScenarioResult run_web_scenario(const WebScenarioConfig& cfg);
+
+}  // namespace prism::harness

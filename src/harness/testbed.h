@@ -1,0 +1,75 @@
+// The paper's experimental testbed, in simulation.
+//
+// Two machines connected point-to-point (paper §V-A): a "client" that
+// generates traffic and a "server" under test. The server directs all
+// network processing to a single core (one NIC queue -> CPU 0) and runs
+// applications on separate cores; the client spreads its own reception
+// across queues so it is never the bottleneck. One VXLAN overlay spans
+// both hosts for container workloads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "kernel/host.h"
+#include "nic/wire.h"
+#include "overlay/overlay_network.h"
+#include "sim/simulator.h"
+
+namespace prism::harness {
+
+/// Testbed parameters. Defaults mirror the paper's setup.
+struct TestbedConfig {
+  kernel::CostModel cost;                ///< shared by both hosts
+  kernel::NapiMode mode = kernel::NapiMode::kVanilla;
+  int server_cpus = 4;                   ///< CPU 0: packet processing
+  /// RPS on the server's bridge->veth boundary (empty = off, as in the
+  /// paper's single-core setup).
+  std::vector<int> server_rps_cpus;
+  int client_cpus = 6;
+  int client_queues = 4;                 ///< client-side RSS
+  std::size_t nic_ring_capacity = 4096;
+  /// Adaptive-style interrupt moderation, as on the paper's ConnectX-5.
+  nic::CoalesceConfig coalesce{sim::microseconds(50), 64};
+  double wire_gbps = 100.0;
+  sim::Duration propagation = sim::nanoseconds(500);
+  std::uint32_t vni = 42;
+};
+
+/// Two hosts, a wire, and one overlay network.
+class Testbed {
+ public:
+  explicit Testbed(const TestbedConfig& config = TestbedConfig{});
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  sim::Simulator& sim() noexcept { return sim_; }
+  kernel::Host& client() noexcept { return client_; }
+  kernel::Host& server() noexcept { return server_; }
+  overlay::OverlayNetwork& overlay() noexcept { return overlay_; }
+  nic::Wire& wire() noexcept { return wire_; }
+
+  /// Adds a container on the client/server host. Container IPs are
+  /// auto-assigned in 172.17.0.0/16.
+  overlay::Netns& add_client_container(const std::string& name);
+  overlay::Netns& add_server_container(const std::string& name);
+
+  /// Sets the NAPI mode on both hosts (engines must be idle).
+  void set_mode(kernel::NapiMode mode);
+
+  /// The server's packet-processing core (all RX lands here).
+  kernel::Cpu& server_rx_cpu() {
+    return server_.cpu(server_.default_rx_cpu());
+  }
+
+ private:
+  sim::Simulator sim_;
+  kernel::Host client_;
+  kernel::Host server_;
+  nic::Wire wire_;
+  overlay::OverlayNetwork overlay_;
+  std::uint8_t next_container_ip_ = 2;
+};
+
+}  // namespace prism::harness

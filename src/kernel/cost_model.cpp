@@ -1,0 +1,4 @@
+#include "kernel/cost_model.h"
+
+// All members are defaulted inline; this translation unit anchors the
+// target's source list.

@@ -1,0 +1,65 @@
+#include "kernel/cpu.h"
+
+#include <cassert>
+#include <utility>
+
+namespace prism::kernel {
+
+Cpu::Cpu(sim::Simulator& sim, const CostModel& cost, int id)
+    : sim_(sim), cost_(cost), id_(id) {}
+
+void Cpu::run_softirq(Chunk chunk) { enqueue(true, std::move(chunk)); }
+
+void Cpu::run_task(sim::Duration cost, std::function<void()> on_done) {
+  enqueue(false, [this, cost, cb = std::move(on_done)]() {
+    sim_.schedule(cost, cb);
+    return cost;
+  });
+}
+
+void Cpu::run_task_fn(Chunk chunk) { enqueue(false, std::move(chunk)); }
+
+void Cpu::enqueue(bool softirq, Chunk chunk) {
+  (softirq ? softirq_q_ : task_q_).push_back(std::move(chunk));
+  if (!running_) {
+    running_ = true;
+    // The core might still be "cooling down" from a previous chunk whose
+    // completion event hasn't fired; never start before busy_until_.
+    sim_.schedule_at(std::max(sim_.now(), busy_until_),
+                     [this] { dispatch(); });
+  }
+}
+
+void Cpu::dispatch() {
+  if (softirq_q_.empty() && task_q_.empty()) {
+    running_ = false;
+    idle_pending_ = true;
+    idle_since_ = sim_.now();
+    return;
+  }
+  if (idle_pending_) {
+    idle_pending_ = false;
+    if (sim_.now() - idle_since_ >= cost_.cstate_entry_threshold) {
+      // Pay the C1 exit before any work. The stall is wall-clock delay,
+      // not chargeable work, so it is excluded from busy accounting.
+      ++cstate_exits_;
+      sim_.schedule(cost_.cstate_exit_latency, [this] { run_next(); });
+      return;
+    }
+  }
+  run_next();
+}
+
+void Cpu::run_next() {
+  assert(!softirq_q_.empty() || !task_q_.empty());
+  auto& q = softirq_q_.empty() ? task_q_ : softirq_q_;
+  Chunk chunk = std::move(q.front());
+  q.pop_front();
+  const sim::Duration cost = chunk();
+  assert(cost >= 0 && "chunk cost must be non-negative");
+  busy_until_ = sim_.now() + cost;
+  acct_.add_busy(cost);
+  sim_.schedule(cost, [this] { dispatch(); });
+}
+
+}  // namespace prism::kernel

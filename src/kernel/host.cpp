@@ -1,0 +1,288 @@
+#include "kernel/host.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+#include "net/flow.h"
+
+namespace prism::kernel {
+
+namespace {
+
+/// Inner-path MTU (Docker overlay default): outer MTU minus VXLAN
+/// overhead.
+constexpr std::size_t kOverlayMtu = net::kMtu - net::kEncapHeadroom;
+
+}  // namespace
+
+Host::Host(sim::Simulator& sim, HostConfig config)
+    : sim_(sim), cfg_(std::move(config)) {
+  if (cfg_.num_cpus < 1) {
+    throw std::invalid_argument("Host: need at least one CPU");
+  }
+  if (cfg_.mac == net::MacAddr{}) {
+    cfg_.mac = net::MacAddr::make(cfg_.ip.value);
+  }
+
+  // Queue -> CPU map.
+  queue_cpu_map_ = cfg_.queue_cpu_map;
+  if (queue_cpu_map_.empty()) {
+    for (int q = 0; q < cfg_.nic_queues; ++q) {
+      queue_cpu_map_.push_back(q % cfg_.num_cpus);
+    }
+  }
+  if (static_cast<int>(queue_cpu_map_.size()) != cfg_.nic_queues) {
+    throw std::invalid_argument("Host: queue_cpu_map size mismatch");
+  }
+  for (int c : queue_cpu_map_) {
+    if (c < 0 || c >= cfg_.num_cpus) {
+      throw std::invalid_argument("Host: queue mapped to invalid CPU");
+    }
+  }
+
+  root_ns_ = std::make_unique<overlay::Netns>(cfg_.name, cfg_.ip, cfg_.mac,
+                                              /*is_container=*/false);
+  deliverer_ = std::make_unique<SocketDeliverer>(sim_, cfg_.cost);
+  nic_ = std::make_unique<nic::Nic>(sim_, cfg_.nic_queues,
+                                    cfg_.nic_ring_capacity, cfg_.coalesce);
+
+  // Per-CPU softirq machinery.
+  for (int i = 0; i < cfg_.num_cpus; ++i) {
+    auto pc = std::make_unique<PerCpu>();
+    pc->cpu = std::make_unique<Cpu>(sim_, cfg_.cost, i);
+    pc->engine =
+        std::make_unique<NetRxEngine>(sim_, *pc->cpu, cfg_.cost, cfg_.mode);
+    pc->transition =
+        std::make_unique<StageTransition>(*pc->engine, cfg_.cost);
+    pc->backlog_stage =
+        std::make_unique<BacklogStage>("veth", cfg_.cost, *deliverer_);
+    pc->backlog = std::make_unique<QueueNapi>("veth", *pc->backlog_stage,
+                                              cfg_.cost);
+    per_cpu_.push_back(std::move(pc));
+  }
+
+  // Stage-1 NAPIs, one per RSS queue, wired to their CPU's engine.
+  for (int q = 0; q < cfg_.nic_queues; ++q) {
+    const int cpu_idx = queue_cpu_map_[static_cast<std::size_t>(q)];
+    PerCpu& pc = *per_cpu_[static_cast<std::size_t>(cpu_idx)];
+    NicNapiContext ctx;
+    ctx.engine = pc.engine.get();
+    ctx.transition = pc.transition.get();
+    ctx.cost = &cfg_.cost;
+    ctx.priority_db = &priority_db_;
+    ctx.deliverer = deliverer_.get();
+    ctx.root_ns = root_ns_.get();
+    ctx.vxlan_lookup = [this, cpu_idx](std::uint32_t vni) -> QueueNapi* {
+      const auto it = bridges_.find(vni);
+      return it == bridges_.end() ? nullptr
+                                  : &it->second.bridge->cell(cpu_idx);
+    };
+    auto napi =
+        std::make_unique<NicNapi>("eth", nic_->queue(q), std::move(ctx));
+    NicNapi* napi_ptr = napi.get();
+    nic_->queue(q).set_irq_handler([this, cpu_idx, napi_ptr] {
+      PerCpu& target = *per_cpu_[static_cast<std::size_t>(cpu_idx)];
+      target.cpu->run_softirq([this, cpu_idx, napi_ptr] {
+        per_cpu_[static_cast<std::size_t>(cpu_idx)]->engine->napi_schedule(
+            *napi_ptr, false);
+        return cfg_.cost.irq_cost;
+      });
+      (void)target;
+    });
+    nic_napis_.push_back(std::move(napi));
+  }
+
+  // Root namespace egress: straight to the NIC.
+  root_ns_->egress = [this](net::PacketBuf frame) {
+    nic_->transmit(std::move(frame));
+  };
+
+  proc_ = std::make_unique<prism::ProcInterface>(
+      priority_db_, [this](NapiMode m) { set_mode(m); },
+      [this] { return mode(); });
+}
+
+Host::~Host() = default;
+
+void Host::set_mode(NapiMode mode) {
+  for (auto& pc : per_cpu_) pc->engine->set_mode(mode);
+}
+
+NapiMode Host::mode() const noexcept {
+  return per_cpu_.front()->engine->mode();
+}
+
+overlay::Bridge& Host::bridge(std::uint32_t vni) {
+  auto it = bridges_.find(vni);
+  if (it == bridges_.end()) {
+    BridgeBundle bundle;
+    bundle.fdb = std::make_unique<overlay::Fdb>();
+    std::vector<StageTransition*> transitions;
+    std::vector<QueueNapi*> backlogs;
+    for (auto& pc : per_cpu_) {
+      transitions.push_back(pc->transition.get());
+      backlogs.push_back(pc->backlog.get());
+    }
+    bundle.bridge = std::make_unique<overlay::Bridge>(
+        vni, cfg_.cost, *bundle.fdb, transitions, backlogs);
+    if (!cfg_.rps_cpus.empty()) {
+      std::vector<overlay::RpsTarget> targets;
+      for (const int c : cfg_.rps_cpus) {
+        if (c < 0 || c >= cfg_.num_cpus) {
+          throw std::invalid_argument("Host: rps_cpus entry out of range");
+        }
+        PerCpu& pc = *per_cpu_[static_cast<std::size_t>(c)];
+        targets.push_back(
+            overlay::RpsTarget{pc.transition.get(), pc.backlog.get()});
+      }
+      for (int c = 0; c < cfg_.num_cpus; ++c) {
+        bundle.bridge->stage(c).enable_rps(targets, sim_);
+      }
+    }
+    it = bridges_.emplace(vni, std::move(bundle)).first;
+  }
+  return *it->second.bridge;
+}
+
+overlay::Netns& Host::add_container(const std::string& name,
+                                    net::Ipv4Addr ip, std::uint32_t vni) {
+  bridge(vni);  // ensure it exists
+  const net::MacAddr mac =
+      net::MacAddr::make(((cfg_.ip.value & 0xffffu) << 16) | ++mac_counter_);
+  auto ns = std::make_unique<overlay::Netns>(name, ip, mac,
+                                             /*is_container=*/true);
+  ns->egress = [this, vni](net::PacketBuf frame) {
+    container_egress(vni, std::move(frame));
+  };
+  bridges_.at(vni).fdb->add(mac, *ns);
+  containers_.push_back(std::move(ns));
+  return *containers_.back();
+}
+
+void Host::add_overlay_route(std::uint32_t vni, net::MacAddr container_mac,
+                             net::Ipv4Addr host_ip,
+                             net::MacAddr host_mac) {
+  bridge(vni);  // ensure it exists
+  bridges_.at(vni).routes[container_mac] =
+      BridgeBundle::Vtep{host_ip, host_mac};
+}
+
+void Host::container_egress(std::uint32_t vni, net::PacketBuf frame) {
+  auto& bundle = bridges_.at(vni);
+  const auto eth = net::EthernetHeader::parse(frame.bytes());
+  if (!eth) return;  // malformed inner frame: dropped by the bridge
+
+  // Local destination: stays on this host's bridge (veth -> br -> veth).
+  // The frame enters the bridge's gro_cell on the default RX CPU, going
+  // through stages 2 and 3 like any received overlay packet.
+  if (bundle.routes.find(eth->dst) == bundle.routes.end()) {
+    deliver_local(bundle, std::move(frame));
+    return;
+  }
+
+  // Remote destination: VXLAN-encapsulate and transmit. The outer UDP
+  // source port carries inner-flow entropy, as the kernel's vxlan driver
+  // computes it.
+  const auto& vtep = bundle.routes.at(eth->dst);
+  std::uint16_t entropy = 0xc000;
+  if (const auto inner = net::parse_frame(frame.bytes())) {
+    entropy = static_cast<std::uint16_t>(
+        0xc000 | (std::hash<net::FiveTuple>{}(net::flow_of(*inner)) &
+                  0x3fff));
+  }
+  net::FrameSpec outer;
+  outer.src_mac = cfg_.mac;
+  outer.dst_mac = vtep.host_mac;
+  outer.src_ip = cfg_.ip;
+  outer.dst_ip = vtep.host_ip;
+  outer.src_port = entropy;
+  net::vxlan_encapsulate(frame, outer, vni);
+  nic_->transmit(std::move(frame));
+}
+
+void Host::deliver_local(BridgeBundle& bundle, net::PacketBuf frame) {
+  const int cpu_idx = default_rx_cpu();
+  PerCpu& pc = *per_cpu_[static_cast<std::size_t>(cpu_idx)];
+  auto skb = std::make_unique<Skb>();
+  const bool prism_mode = pc.engine->mode() != NapiMode::kVanilla;
+  if (prism_mode) {
+    skb->priority = priority_db_.classify(frame.bytes());
+  }
+  skb->ts.nic_rx = sim_.now();
+  skb->ts.stage1_done = sim_.now();
+  skb->buf = std::move(frame);
+  skb->stage = 2;
+  QueueNapi& cell = bundle.bridge->cell(cpu_idx);
+  const bool high = skb->high_priority();
+  const int level = skb->priority;
+  if (cell.enqueue(std::move(skb), level)) {
+    pc.engine->napi_schedule(cell, high);
+  }
+}
+
+UdpSocket& Host::udp_bind(overlay::Netns& ns, std::uint16_t port,
+                          std::size_t capacity) {
+  auto sock = std::make_unique<UdpSocket>(sim_, port, capacity);
+  ns.sockets().bind_udp(*sock);
+  udp_sockets_.push_back(std::move(sock));
+  return *udp_sockets_.back();
+}
+
+std::size_t Host::max_udp_payload(
+    const overlay::Netns& ns) const noexcept {
+  const std::size_t mtu = ns.is_container() ? kOverlayMtu : net::kMtu;
+  return mtu - net::Ipv4Header::kSize - net::UdpHeader::kSize;
+}
+
+void Host::udp_send(overlay::Netns& ns, Cpu& cpu, std::uint16_t src_port,
+                    net::Ipv4Addr dst_ip, std::uint16_t dst_port,
+                    std::vector<std::uint8_t> payload,
+                    std::function<void()> on_sent) {
+  if (payload.size() > max_udp_payload(ns)) {
+    throw std::invalid_argument(
+        "Host::udp_send: payload exceeds path MTU (UDP fragmentation is "
+        "out of scope)");
+  }
+  sim::Duration cost = cfg_.cost.syscall_cost +
+                       cfg_.cost.copy_cost(payload.size()) +
+                       cfg_.cost.tx_per_packet;
+  if (ns.is_container()) cost += cfg_.cost.tx_overlay_extra;
+
+  cpu.run_task(cost, [this, &ns, src_port, dst_ip, dst_port,
+                      payload = std::move(payload),
+                      on_sent = std::move(on_sent)] {
+    net::FrameSpec spec;
+    spec.src_mac = ns.mac();
+    spec.dst_mac = ns.neighbor(dst_ip);
+    spec.src_ip = ns.ip();
+    spec.dst_ip = dst_ip;
+    spec.src_port = src_port;
+    spec.dst_port = dst_port;
+    ns.egress(net::build_udp_frame(spec, payload));
+    if (on_sent) on_sent();
+  });
+}
+
+TcpEndpoint& Host::tcp_create(overlay::Netns& ns, net::Ipv4Addr remote_ip,
+                              std::uint16_t local_port,
+                              std::uint16_t remote_port, std::size_t mss) {
+  TcpEndpoint::Config cfg;
+  cfg.ns = &ns;
+  cfg.local_ip = ns.ip();
+  cfg.remote_ip = remote_ip;
+  cfg.local_port = local_port;
+  cfg.remote_port = remote_port;
+  if (mss == 0) {
+    const std::size_t mtu = ns.is_container() ? kOverlayMtu : net::kMtu;
+    cfg.mss = mtu - net::Ipv4Header::kSize - net::TcpHeader::kSize;
+  } else {
+    cfg.mss = mss;
+  }
+  auto ep = std::make_unique<TcpEndpoint>(sim_, cfg_.cost, cfg);
+  ns.sockets().register_tcp(ep->incoming_flow(), *ep);
+  tcp_endpoints_.push_back(std::move(ep));
+  return *tcp_endpoints_.back();
+}
+
+}  // namespace prism::kernel

@@ -1,0 +1,188 @@
+// A simulated machine: CPUs, NIC, kernel stack, namespaces, containers.
+//
+// Host is the assembly point of the reproduction: it owns the per-CPU
+// softirq machinery (engine + stage transitions + backlog), the NIC's RSS
+// queues and their stage-1 NAPIs, the overlay bridges, the container
+// namespaces with their VXLAN egress, and PRISM's priority database and
+// proc control interface. The testbed harness creates two of these and
+// connects them with a Wire, mirroring the paper's two-machine setup.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/cost_model.h"
+#include "kernel/cpu.h"
+#include "kernel/napi.h"
+#include "kernel/net_rx_engine.h"
+#include "kernel/nic_napi.h"
+#include "kernel/protocol.h"
+#include "kernel/socket.h"
+#include "kernel/softnet.h"
+#include "kernel/stage_transition.h"
+#include "kernel/tcp.h"
+#include "net/ip.h"
+#include "net/mac.h"
+#include "nic/nic.h"
+#include "overlay/bridge.h"
+#include "overlay/netns.h"
+#include "prism/priority_db.h"
+#include "prism/proc_interface.h"
+#include "sim/simulator.h"
+
+namespace prism::kernel {
+
+/// Static configuration of one host.
+struct HostConfig {
+  std::string name = "host";
+  net::Ipv4Addr ip;
+  net::MacAddr mac;  ///< zero -> derived from ip
+  int num_cpus = 4;
+  /// NIC RSS queues. The paper's server directs all network processing to
+  /// a single core (one queue -> CPU 0); the client spreads flows.
+  int nic_queues = 1;
+  /// queue i -> CPU. Empty: queue i handled by CPU i % num_cpus.
+  std::vector<int> queue_cpu_map;
+  /// Receive Packet Steering at the bridge->veth (netif_rx) boundary:
+  /// flows hash across these CPUs. Empty (default, and the paper's
+  /// single-core server setup) keeps each packet on its RX CPU.
+  std::vector<int> rps_cpus;
+  NapiMode mode = NapiMode::kVanilla;
+  CostModel cost;
+  std::size_t nic_ring_capacity = 4096;
+  /// NIC interrupt moderation (default off; the testbed enables it to
+  /// match the ConnectX-5's adaptive behaviour).
+  nic::CoalesceConfig coalesce;
+};
+
+/// One simulated machine.
+class Host {
+ public:
+  Host(sim::Simulator& sim, HostConfig config);
+  ~Host();
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  // ------------------------------------------------------------ identity
+  const std::string& name() const noexcept { return cfg_.name; }
+  net::Ipv4Addr ip() const noexcept { return cfg_.ip; }
+  net::MacAddr mac() const noexcept { return cfg_.mac; }
+  const CostModel& cost() const noexcept { return cfg_.cost; }
+
+  // ------------------------------------------------------------ hardware
+  nic::Nic& nic() noexcept { return *nic_; }
+  Cpu& cpu(int i) { return *per_cpu_[static_cast<std::size_t>(i)]->cpu; }
+  int num_cpus() const noexcept { return cfg_.num_cpus; }
+  NetRxEngine& engine(int i) {
+    return *per_cpu_[static_cast<std::size_t>(i)]->engine;
+  }
+  /// CPU that queue 0 interrupts — the paper's "packet processing core".
+  int default_rx_cpu() const noexcept { return queue_cpu_map_[0]; }
+
+  // --------------------------------------------------------------- PRISM
+  prism::PriorityDb& priority_db() noexcept { return priority_db_; }
+  prism::ProcInterface& proc() noexcept { return *proc_; }
+  /// Switches every CPU's engine; all must be idle.
+  void set_mode(NapiMode mode);
+  NapiMode mode() const noexcept;
+
+  // ---------------------------------------------------------- namespaces
+  overlay::Netns& root_ns() noexcept { return *root_ns_; }
+
+  /// Creates (or returns) the overlay bridge for `vni`.
+  overlay::Bridge& bridge(std::uint32_t vni);
+
+  /// Creates a container attached to the `vni` bridge. The container MAC
+  /// is auto-assigned; the FDB entry is installed.
+  overlay::Netns& add_container(const std::string& name, net::Ipv4Addr ip,
+                                std::uint32_t vni);
+
+  /// Declares that container `mac` of overlay `vni` lives behind the
+  /// remote VTEP (`host_ip`, `host_mac`): the container egress
+  /// encapsulates frames for it accordingly.
+  void add_overlay_route(std::uint32_t vni, net::MacAddr container_mac,
+                         net::Ipv4Addr host_ip, net::MacAddr host_mac);
+
+  /// Static ARP entry for the root namespace's L2 domain.
+  void add_neighbor(net::Ipv4Addr ip, net::MacAddr mac) {
+    root_ns_->add_neighbor(ip, mac);
+  }
+
+  // -------------------------------------------------------------- sockets
+  /// Binds a UDP socket (owned by the host) in `ns`.
+  UdpSocket& udp_bind(overlay::Netns& ns, std::uint16_t port,
+                      std::size_t capacity = 4096);
+
+  /// Sends one UDP datagram from `ns`, charging syscall/copy/egress costs
+  /// to `cpu`. `on_sent` (optional) fires when the send syscall
+  /// completes. Throws std::invalid_argument if the payload exceeds the
+  /// path MTU (UDP fragmentation is out of scope; see DESIGN.md).
+  void udp_send(overlay::Netns& ns, Cpu& cpu, std::uint16_t src_port,
+                net::Ipv4Addr dst_ip, std::uint16_t dst_port,
+                std::vector<std::uint8_t> payload,
+                std::function<void()> on_sent = {});
+
+  /// Creates (and registers) an established-TCP endpoint in `ns`.
+  /// `mss == 0` selects the path default (1400 for containers, 1448 for
+  /// the host path).
+  TcpEndpoint& tcp_create(overlay::Netns& ns, net::Ipv4Addr remote_ip,
+                          std::uint16_t local_port,
+                          std::uint16_t remote_port, std::size_t mss = 0);
+
+  /// Maximum UDP payload for sockets in `ns`.
+  std::size_t max_udp_payload(const overlay::Netns& ns) const noexcept;
+
+  // ---------------------------------------------------------- telemetry
+  SocketDeliverer& deliverer() noexcept { return *deliverer_; }
+  void set_poll_trace(int cpu, trace::PollTrace* trace) {
+    engine(cpu).set_poll_trace(trace);
+  }
+  NicNapi& nic_napi(int queue) {
+    return *nic_napis_[static_cast<std::size_t>(queue)];
+  }
+
+ private:
+  struct PerCpu {
+    std::unique_ptr<Cpu> cpu;
+    std::unique_ptr<NetRxEngine> engine;
+    std::unique_ptr<StageTransition> transition;
+    std::unique_ptr<BacklogStage> backlog_stage;
+    std::unique_ptr<QueueNapi> backlog;
+  };
+
+  struct BridgeBundle {
+    std::unique_ptr<overlay::Fdb> fdb;
+    std::unique_ptr<overlay::Bridge> bridge;
+    /// Remote containers: MAC -> VTEP endpoint.
+    struct Vtep {
+      net::Ipv4Addr host_ip;
+      net::MacAddr host_mac;
+    };
+    std::map<net::MacAddr, Vtep> routes;
+  };
+
+  void container_egress(std::uint32_t vni, net::PacketBuf frame);
+  void deliver_local(BridgeBundle& bundle, net::PacketBuf frame);
+
+  sim::Simulator& sim_;
+  HostConfig cfg_;
+  std::vector<int> queue_cpu_map_;
+  std::unique_ptr<nic::Nic> nic_;
+  std::vector<std::unique_ptr<PerCpu>> per_cpu_;
+  std::unique_ptr<SocketDeliverer> deliverer_;
+  std::vector<std::unique_ptr<NicNapi>> nic_napis_;
+  std::unique_ptr<overlay::Netns> root_ns_;
+  std::map<std::uint32_t, BridgeBundle> bridges_;
+  std::vector<std::unique_ptr<overlay::Netns>> containers_;
+  std::vector<std::unique_ptr<UdpSocket>> udp_sockets_;
+  std::vector<std::unique_ptr<TcpEndpoint>> tcp_endpoints_;
+  prism::PriorityDb priority_db_;
+  std::unique_ptr<prism::ProcInterface> proc_;
+  std::uint32_t mac_counter_ = 0;
+};
+
+}  // namespace prism::kernel

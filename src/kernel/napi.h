@@ -1,0 +1,171 @@
+// NAPI structures: napi_struct, packet-processing stages, and the generic
+// queue-backed poll function.
+//
+// The simulated reception pipeline is built from PacketStages (the
+// per-packet protocol work of one device) wrapped in NapiStructs (the
+// pollable queue + poll function the kernel's softirq loop operates on),
+// mirroring the kernel's napi_struct / poll-callback split.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "kernel/cost_model.h"
+#include "kernel/skb.h"
+#include "sim/time.h"
+
+namespace prism::kernel {
+
+/// Number of packet priority levels. Level 0 is best-effort (vanilla's
+/// only level); levels 1..kNumPriorityLevels-1 are increasingly urgent.
+/// The paper's prototype has two levels and names finer-grained control
+/// as future work (§VII-3).
+constexpr int kNumPriorityLevels = 4;
+
+/// Packet-processing regime of a host (paper §III).
+enum class NapiMode {
+  kVanilla,     ///< stock two-list NAPI, FCFS, no priorities (Fig. 2)
+  kPrismBatch,  ///< single list, dual queues, batch-level preemption
+  kPrismSync,   ///< as batch, plus run-to-completion for high-priority
+  /// Ablation mode: PRISM's dual per-device queues (high polled first)
+  /// WITHOUT poll-list head insertion. Isolates how much of PRISM-batch's
+  /// gain comes from each of its two ingredients (paper §III-B2).
+  kPrismQueues,
+};
+
+/// Human-readable mode name ("vanilla", "prism-batch", "prism-sync").
+const char* to_string(NapiMode mode) noexcept;
+
+/// The per-packet protocol work of one pipeline stage (NIC driver, bridge,
+/// backlog). Implementations perform the packet's side effects — stage
+/// transition into the next device or final socket delivery — and return
+/// the processing cost.
+class PacketStage {
+ public:
+  virtual ~PacketStage() = default;
+
+  /// Processes one skb at simulated instant `at` (the instant within the
+  /// enclosing poll chunk at which this packet's processing begins).
+  /// `cost_multiplier` is the cache-pressure factor of the enclosing poll
+  /// (CostModel::depth_multiplier); implementations scale their own
+  /// per-packet cost by it. Returns the simulated cost of this packet at
+  /// this stage, including any inline work a PRISM-sync transition chains
+  /// onto it.
+  virtual sim::Duration process_one(SkbPtr skb, sim::Time at,
+                                    double cost_multiplier) = 0;
+
+  virtual const std::string& name() const = 0;
+};
+
+/// Result of one napi_poll invocation.
+struct PollOutcome {
+  int processed = 0;        ///< packets consumed from the device queue
+  sim::Duration cost = 0;   ///< total simulated cost of the poll
+  bool has_more = false;    ///< device still has pending packets
+};
+
+/// Simulated napi_struct: the unit the NAPI poll list holds.
+///
+/// Owns the device's input packet queues. PRISM extends every device with
+/// a second, high-priority queue (paper §IV-B); in vanilla mode the high
+/// queue is simply never used.
+class NapiStruct {
+ public:
+  explicit NapiStruct(std::string name) : name_(std::move(name)) {}
+  virtual ~NapiStruct() = default;
+
+  NapiStruct(const NapiStruct&) = delete;
+  NapiStruct& operator=(const NapiStruct&) = delete;
+
+  /// Processes up to `batch` packets starting at instant `start`.
+  virtual PollOutcome poll(int batch, sim::Time start) = 0;
+
+  /// Any packets pending? (NIC-backed napis probe their ring instead.)
+  virtual bool has_pending() const { return highest_pending() >= 0; }
+
+  /// Any high-priority (level >= 1) packets pending?
+  virtual bool has_high_pending() const { return highest_pending() >= 1; }
+
+  /// napi_complete: the device was drained and leaves the poll list.
+  /// NIC-backed napis re-enable their interrupt here.
+  virtual void on_complete() {}
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Enqueues at priority `level` (clamped to the valid range),
+  /// enforcing the per-queue length limit (netdev_max_backlog): returns
+  /// false and counts a drop when that queue is full, as netif_rx does.
+  bool enqueue(SkbPtr skb, int level) {
+    level = clamp_level(level);
+    auto& q = queues[static_cast<std::size_t>(level)];
+    if (q.size() >= queue_limit) {
+      ++(level > 0 ? high_dropped_ : low_dropped_);
+      return false;
+    }
+    q.push_back(std::move(skb));
+    return true;
+  }
+
+  /// Highest priority level with packets pending; -1 when all empty.
+  int highest_pending() const noexcept {
+    for (int level = kNumPriorityLevels - 1; level >= 0; --level) {
+      if (!queues[static_cast<std::size_t>(level)].empty()) return level;
+    }
+    return -1;
+  }
+
+  static int clamp_level(int level) noexcept {
+    if (level < 0) return 0;
+    if (level >= kNumPriorityLevels) return kNumPriorityLevels - 1;
+    return level;
+  }
+
+  std::uint64_t low_dropped() const noexcept { return low_dropped_; }
+  std::uint64_t high_dropped() const noexcept { return high_dropped_; }
+
+  /// Per-level input packet queues. Vanilla uses level 0 only; the
+  /// paper's two-level PRISM uses 0 and 1.
+  std::array<std::deque<SkbPtr>, kNumPriorityLevels> queues;
+
+  /// Back-compatible aliases matching the paper's terminology.
+  std::deque<SkbPtr>& low_queue = queues[0];
+  std::deque<SkbPtr>& high_queue = queues[1];
+
+  /// Max packets per input queue (the kernel's netdev_max_backlog,
+  /// default 1000). Every priority queue gets the same limit.
+  std::size_t queue_limit = 1000;
+
+  /// NAPI_STATE_SCHED: set while the device is in a poll list or being
+  /// polled; cleared by napi_complete.
+  bool scheduled = false;
+
+ private:
+  std::string name_;
+  std::uint64_t low_dropped_ = 0;
+  std::uint64_t high_dropped_ = 0;
+};
+
+/// Queue-backed napi used by the bridge's gro_cells and the per-CPU
+/// backlog: implements the napi_poll logic of the paper's Fig. 7 (lines
+/// 22-38) — if the high-priority queue is non-empty when the poll begins,
+/// only a batch of high-priority packets is processed; otherwise a batch
+/// from the low-priority queue, exactly like vanilla.
+class QueueNapi final : public NapiStruct {
+ public:
+  QueueNapi(std::string name, PacketStage& stage, const CostModel& cost)
+      : NapiStruct(std::move(name)), stage_(stage), cost_(cost) {}
+
+  PollOutcome poll(int batch, sim::Time start) override;
+
+  /// The protocol-processing stage behind this napi (used by PRISM-sync
+  /// transitions to invoke the stage directly).
+  PacketStage& stage() noexcept { return stage_; }
+
+ private:
+  PacketStage& stage_;
+  const CostModel& cost_;
+};
+
+}  // namespace prism::kernel

@@ -1,0 +1,144 @@
+#include "kernel/net_rx_engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prism::kernel {
+
+NetRxEngine::NetRxEngine(sim::Simulator& sim, Cpu& cpu,
+                         const CostModel& cost, NapiMode mode)
+    : sim_(sim), cpu_(cpu), cost_(cost), mode_(mode) {}
+
+void NetRxEngine::set_mode(NapiMode mode) {
+  if (!idle()) {
+    throw std::logic_error(
+        "NetRxEngine::set_mode: engine must be idle to switch modes");
+  }
+  mode_ = mode;
+}
+
+void NetRxEngine::napi_schedule(NapiStruct& napi, bool high) {
+  if (mode_ == NapiMode::kVanilla) {
+    // Vanilla: new devices always go to the tail of the global list;
+    // an already-scheduled device is left where it is.
+    if (!napi.scheduled) {
+      napi.scheduled = true;
+      global_list_.push_back(&napi);
+    }
+  } else {
+    // PRISM: head insertion for devices receiving high-priority packets;
+    // a device already in the list is *moved* to the head (paper §III-A).
+    // The prism-queues ablation keeps the single list but never inserts
+    // at the head.
+    const bool head = high && mode_ != NapiMode::kPrismQueues;
+    if (!napi.scheduled) {
+      napi.scheduled = true;
+      if (head) {
+        global_list_.push_front(&napi);
+      } else {
+        global_list_.push_back(&napi);
+      }
+    } else if (head) {
+      auto it = std::find(global_list_.begin(), global_list_.end(), &napi);
+      if (it != global_list_.end()) {
+        global_list_.splice(global_list_.begin(), global_list_, it);
+      }
+      // If the device is not in the list it is being polled right now;
+      // the post-poll requeue (has_high_pending -> head) handles it.
+    }
+  }
+  if (!in_softirq_) raise_softirq();
+}
+
+void NetRxEngine::raise_softirq() {
+  if (softirq_pending_) return;
+  softirq_pending_ = true;
+  cpu_.run_softirq([this] { return entry_chunk(); });
+}
+
+sim::Duration NetRxEngine::entry_chunk() {
+  softirq_pending_ = false;
+  in_softirq_ = true;
+  ++softirqs_;
+  budget_ = cost_.napi_budget;
+  if (mode_ == NapiMode::kVanilla) {
+    // Fig. 2 line 8: move the global POLL_LIST onto the local list. This
+    // is the lock-free handoff whose synchronization delay PRISM removes.
+    local_list_.splice(local_list_.end(), global_list_);
+  }
+  cpu_.run_softirq([this] { return poll_chunk(); });
+  return cost_.softirq_entry;
+}
+
+sim::Duration NetRxEngine::poll_chunk() {
+  auto& list =
+      mode_ == NapiMode::kVanilla ? local_list_ : global_list_;
+  if (list.empty()) {
+    finish_softirq();
+    return 0;
+  }
+  NapiStruct* dev = list.front();
+  list.pop_front();
+
+  const PollOutcome out = dev->poll(cost_.napi_batch_size, sim_.now());
+  budget_ -= out.processed;
+  ++polls_;
+  packets_ += static_cast<std::uint64_t>(out.processed);
+
+  if (mode_ == NapiMode::kVanilla) {
+    // Fig. 2 lines 16-17: a device with remaining packets is appended to
+    // the *global* list — it will not be polled again until the next
+    // net_rx_action invocation, which is what interleaves batches.
+    if (out.has_more) {
+      global_list_.push_back(dev);
+    } else {
+      dev->scheduled = false;
+      dev->on_complete();
+    }
+  } else {
+    // Fig. 7 lines 13-16: requeue by pending priority.
+    if (dev->has_high_pending() && mode_ != NapiMode::kPrismQueues) {
+      global_list_.push_front(dev);
+    } else if (dev->has_pending()) {
+      global_list_.push_back(dev);
+    } else {
+      dev->scheduled = false;
+      dev->on_complete();
+    }
+  }
+
+  if (trace_) {
+    trace_->on_poll(sim_.now(), dev->name(), snapshot(), out.processed);
+  }
+
+  auto& cur = mode_ == NapiMode::kVanilla ? local_list_ : global_list_;
+  if (budget_ <= 0 || cur.empty()) {
+    finish_softirq();
+  } else {
+    cpu_.run_softirq([this] { return poll_chunk(); });
+  }
+  return out.cost;
+}
+
+void NetRxEngine::finish_softirq() {
+  in_softirq_ = false;
+  if (mode_ == NapiMode::kVanilla) {
+    // Fig. 2 lines 21-22: remaining local devices keep precedence — the
+    // global list is appended after them, then everything moves back to
+    // the global list.
+    local_list_.splice(local_list_.end(), global_list_);
+    global_list_ = std::move(local_list_);
+    local_list_.clear();
+  }
+  if (!global_list_.empty()) raise_softirq();
+}
+
+std::vector<std::string> NetRxEngine::snapshot() const {
+  std::vector<std::string> out;
+  out.reserve(local_list_.size() + global_list_.size());
+  for (const auto* d : local_list_) out.push_back(d->name());
+  for (const auto* d : global_list_) out.push_back(d->name());
+  return out;
+}
+
+}  // namespace prism::kernel

@@ -1,0 +1,159 @@
+#include "kernel/nic_napi.h"
+
+#include <cassert>
+#include <utility>
+
+#include "kernel/net_rx_engine.h"
+#include "net/flow.h"
+#include "overlay/netns.h"
+
+namespace prism::kernel {
+
+namespace {
+
+/// Max frames GRO merges into one super-skb (64 KB / MSS, as in the
+/// kernel's GRO_MAX limit).
+constexpr int kGroMaxSegments = 45;
+
+}  // namespace
+
+NicNapi::NicNapi(std::string name, nic::RxQueue& ring, NicNapiContext ctx)
+    : NapiStruct(std::move(name)), ring_(ring), ctx_(std::move(ctx)) {
+  assert(ctx_.engine && ctx_.transition && ctx_.cost && ctx_.deliverer &&
+         ctx_.root_ns && "NicNapi: incomplete context");
+}
+
+sim::Duration NicNapi::flush(GroSlot& slot, sim::Time at, double mult) {
+  if (!slot.skb) return 0;
+  SkbPtr skb = std::move(slot.skb);
+  const Route route = slot.route;
+  slot = GroSlot{};
+  skb->ts.stage1_done = at;
+  if (route.host_path) {
+    return ctx_.deliverer->deliver(*skb, at, *ctx_.root_ns);
+  }
+  return ctx_.transition->transit(std::move(skb), at, *route.bridge,
+                                  mult);
+}
+
+PollOutcome NicNapi::poll(int batch, sim::Time start) {
+  PollOutcome out;
+  out.cost = ctx_.cost->napi_poll_overhead;
+  const bool prism_mode = ctx_.engine->mode() != NapiMode::kVanilla;
+  const double mult = ctx_.cost->depth_multiplier(ring_.size());
+  auto scaled = [mult](sim::Duration d) {
+    return static_cast<sim::Duration>(static_cast<double>(d) * mult);
+  };
+  GroSlot slot;
+
+  while (out.processed < batch) {
+    auto entry = ring_.pop();
+    if (!entry) break;
+    ++out.processed;
+
+    const auto parsed = net::parse_frame(entry->frame.bytes());
+    if (!parsed) {
+      ++dropped_;
+      out.cost += scaled(ctx_.cost->nic_stage_per_packet);
+      continue;
+    }
+
+    // PRISM: classify once, at skb-allocation time.
+    int level = 0;
+    if (prism_mode && ctx_.priority_db != nullptr) {
+      level = ctx_.priority_db->classify(entry->frame.bytes());
+      out.cost += ctx_.cost->priority_check;
+    }
+    const bool high = level > 0;
+
+    auto skb = std::make_unique<Skb>();
+    skb->priority = level;
+    skb->ts.nic_rx = entry->arrived;
+
+    Route route;
+    net::FiveTuple gro_key;
+    bool gro_ok = false;
+
+    if (parsed->is_vxlan()) {
+      const auto vxlan = net::VxlanHeader::parse(parsed->l4_payload);
+      QueueNapi* bridge =
+          (vxlan && ctx_.vxlan_lookup) ? ctx_.vxlan_lookup(vxlan->vni)
+                                       : nullptr;
+      if (bridge == nullptr) {
+        ++dropped_;
+        out.cost += scaled(ctx_.cost->nic_stage_per_packet);
+        continue;
+      }
+      // Decapsulate: strip outer Ethernet/IPv4/UDP/VXLAN in place.
+      skb->buf = std::move(entry->frame);
+      skb->buf.pop_front(parsed->l4_payload_offset +
+                         net::VxlanHeader::kSize);
+      route.bridge = bridge;
+      skb->stage = 2;
+      if (!high) {
+        const auto inner = net::parse_frame(skb->buf.bytes());
+        if (inner && inner->tcp && !inner->l4_payload.empty()) {
+          gro_key = net::flow_of(*inner);
+          gro_ok = true;
+        }
+      }
+    } else if (parsed->ip.dst == ctx_.root_ns->ip()) {
+      skb->buf = std::move(entry->frame);
+      route.host_path = true;
+      skb->stage = 1;
+      if (!high && parsed->tcp && !parsed->l4_payload.empty()) {
+        gro_key = net::flow_of(*parsed);
+        gro_ok = true;
+      }
+    } else {
+      ++dropped_;
+      out.cost += scaled(ctx_.cost->nic_stage_per_packet);
+      continue;
+    }
+
+    // GRO: append to the pending train when flow and route match.
+    if (gro_ok && slot.skb && slot.count < kGroMaxSegments &&
+        slot.route.bridge == route.bridge &&
+        slot.route.host_path == route.host_path && slot.key == gro_key) {
+      slot.skb->gro_chain.push_back(std::move(skb->buf));
+      ++slot.skb->segments;
+      ++slot.count;
+      ++gro_merged_;
+      out.cost += scaled(ctx_.cost->gro_merge_per_segment);
+      continue;
+    }
+
+    // Different flow (or not mergeable): flush any pending train first.
+    out.cost += flush(slot, start + out.cost, mult);
+
+    const sim::Duration head_cost =
+        scaled(route.host_path ? ctx_.cost->host_path_per_packet
+                               : ctx_.cost->nic_stage_per_packet);
+    out.cost += head_cost;
+
+    if (gro_ok) {
+      slot.skb = std::move(skb);
+      slot.route = route;
+      slot.key = gro_key;
+      slot.count = 1;
+      continue;
+    }
+
+    skb->ts.stage1_done = start + out.cost;
+    if (route.host_path) {
+      out.cost +=
+          ctx_.deliverer->deliver(*skb, start + out.cost, *ctx_.root_ns);
+    } else {
+      out.cost += ctx_.transition->transit(std::move(skb),
+                                           start + out.cost,
+                                           *route.bridge, mult);
+    }
+  }
+
+  // GRO flush at the end of the poll (napi_gro_flush).
+  out.cost += flush(slot, start + out.cost, mult);
+  out.has_more = !ring_.empty();
+  return out;
+}
+
+}  // namespace prism::kernel

@@ -1,0 +1,62 @@
+#include "kernel/protocol.h"
+
+#include "kernel/socket.h"
+#include "kernel/tcp.h"
+#include "net/flow.h"
+#include "overlay/netns.h"
+
+namespace prism::kernel {
+
+sim::Duration SocketDeliverer::deliver(Skb& skb, sim::Time at,
+                                       overlay::Netns& ns) {
+  skb.ts.socket_enqueue = at;
+  sim::Duration extra =
+      deliver_frame(skb, skb.buf.bytes(), at, ns, skb.gro_chain.empty());
+  for (std::size_t i = 0; i < skb.gro_chain.size(); ++i) {
+    extra += deliver_frame(skb, skb.gro_chain[i].bytes(), at, ns,
+                           i + 1 == skb.gro_chain.size());
+  }
+  if (trace_) trace_->on_delivered(skb, at);
+  return extra;
+}
+
+sim::Duration SocketDeliverer::deliver_frame(
+    const Skb& skb, std::span<const std::uint8_t> frame, sim::Time at,
+    overlay::Netns& ns, bool final_frame) {
+  const auto parsed = net::parse_frame(frame);
+  if (!parsed) {
+    ++drops_;
+    return 0;
+  }
+  if (parsed->udp) {
+    UdpSocket* sock = ns.sockets().lookup_udp(parsed->udp->dst_port);
+    if (sock == nullptr) {
+      ++drops_;
+      return 0;
+    }
+    Datagram d;
+    d.src_ip = parsed->ip.src;
+    d.src_port = parsed->udp->src_port;
+    d.payload.assign(parsed->l4_payload.begin(), parsed->l4_payload.end());
+    d.enqueued_at = at;
+    d.high_priority = skb.high_priority();
+    d.ts = skb.ts;
+    sock->enqueue(std::move(d), at);
+    ++delivered_;
+    return 0;
+  }
+  if (parsed->tcp) {
+    TcpEndpoint* ep = ns.sockets().lookup_tcp(net::flow_of(*parsed));
+    if (ep == nullptr) {
+      ++drops_;
+      return 0;
+    }
+    ++delivered_;
+    return ep->handle_segment(*parsed->tcp, parsed->l4_payload, at,
+                              final_frame);
+  }
+  ++drops_;
+  return 0;
+}
+
+}  // namespace prism::kernel

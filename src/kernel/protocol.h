@@ -1,0 +1,54 @@
+// Final protocol step: L3/L4 processing and socket delivery.
+//
+// Both the single-stage host path (inside the NIC driver poll) and the
+// last overlay stage (the backlog/veth poll) end here: the frame's
+// transport header selects a UDP socket or TCP endpoint in the destination
+// namespace and the payload crosses into the socket buffer.
+#pragma once
+
+#include <cstdint>
+
+#include "kernel/cost_model.h"
+#include "kernel/skb.h"
+#include "sim/simulator.h"
+#include "trace/packet_trace.h"
+
+namespace prism::overlay {
+class Netns;
+}
+
+namespace prism::kernel {
+
+/// Routes delivered skbs (including GRO chains) into sockets.
+class SocketDeliverer {
+ public:
+  SocketDeliverer(sim::Simulator& sim, const CostModel& cost)
+      : sim_(sim), cost_(cost) {}
+
+  void set_packet_trace(trace::PacketTrace* trace) noexcept {
+    trace_ = trace;
+  }
+
+  /// Delivers every frame carried by `skb` (head + GRO chain) to sockets
+  /// in `ns` at instant `at`. Returns extra in-kernel cost incurred
+  /// (e.g. TCP ACK transmission). Frames without a matching socket are
+  /// dropped and counted.
+  sim::Duration deliver(Skb& skb, sim::Time at, overlay::Netns& ns);
+
+  std::uint64_t no_socket_drops() const noexcept { return drops_; }
+  std::uint64_t delivered() const noexcept { return delivered_; }
+
+ private:
+  sim::Duration deliver_frame(const Skb& skb,
+                              std::span<const std::uint8_t> frame,
+                              sim::Time at, overlay::Netns& ns,
+                              bool final_frame);
+
+  sim::Simulator& sim_;
+  const CostModel& cost_;
+  trace::PacketTrace* trace_ = nullptr;
+  std::uint64_t drops_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace prism::kernel

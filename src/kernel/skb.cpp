@@ -1,0 +1,3 @@
+#include "kernel/skb.h"
+
+// Plain data; this translation unit anchors the target's source list.

@@ -1,0 +1,66 @@
+// Socket buffer — the packet metadata structure of the simulated stack.
+//
+// Mirrors the kernel's sk_buff role: one Skb travels through every stage of
+// the reception pipeline, carrying the packet bytes plus the metadata PRISM
+// adds (the priority bit assigned once at stage-1 skb allocation, paper
+// §IV-A) and the per-stage timestamps the latency analysis uses.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/time.h"
+
+namespace prism::overlay {
+class Netns;
+}
+
+namespace prism::kernel {
+
+/// Life-cycle timestamps of one packet through the reception pipeline.
+/// A value of -1 means "stage not traversed".
+struct SkbTimestamps {
+  sim::Time nic_rx = -1;      ///< frame landed in the NIC ring (DMA)
+  sim::Time stage1_done = -1; ///< NIC driver processing finished
+  sim::Time stage2_done = -1; ///< bridge processing finished
+  sim::Time stage3_done = -1; ///< backlog/veth processing finished
+  sim::Time socket_enqueue = -1;  ///< enqueued to the socket buffer
+};
+
+/// Simulated sk_buff.
+struct Skb {
+  net::PacketBuf buf;
+
+  /// PRISM's addition to sk_buff: priority determined once, at skb
+  /// allocation in the physical driver, from the high-priority flow
+  /// database (paper §IV-A). 0 = best-effort; higher values are more
+  /// urgent. The published design uses two levels; this implementation
+  /// generalizes to kNumPriorityLevels (the paper's §VII-3 future work).
+  int priority = 0;
+
+  /// Convenience: any non-best-effort level.
+  bool high_priority() const noexcept { return priority > 0; }
+
+  /// Number of wire frames this skb represents (>1 after GRO merge).
+  int segments = 1;
+
+  /// Frames GRO-merged behind `buf` (same flow, in order). Later stages
+  /// charge their per-skb cost once for the whole chain — the GRO win.
+  std::vector<net::PacketBuf> gro_chain;
+
+  /// Destination namespace, resolved by the bridge's FDB lookup (stage 2)
+  /// for overlay packets.
+  overlay::Netns* dst_netns = nullptr;
+
+  /// Reception pipeline stage the skb is queued for (1-based; 0 = not yet
+  /// in the pipeline).
+  int stage = 0;
+
+  SkbTimestamps ts;
+};
+
+using SkbPtr = std::unique_ptr<Skb>;
+
+}  // namespace prism::kernel

@@ -1,0 +1,68 @@
+#include "kernel/socket.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace prism::kernel {
+
+UdpSocket::UdpSocket(sim::Simulator& sim, std::uint16_t port,
+                     std::size_t capacity)
+    : sim_(sim), port_(port), capacity_(capacity) {}
+
+std::optional<Datagram> UdpSocket::try_recv() {
+  if (queue_.empty()) return std::nullopt;
+  Datagram d = std::move(queue_.front());
+  queue_.pop_front();
+  return d;
+}
+
+void UdpSocket::enqueue(Datagram d, sim::Time at) {
+  // The state change must occur at the packet's simulated completion
+  // instant, not at the (earlier) instant the poll chunk computed it.
+  sim_.schedule_at(at, [this, d = std::move(d)]() mutable {
+    if (queue_.size() >= capacity_) {
+      ++dropped_;
+      return;
+    }
+    ++received_;
+    queue_.push_back(std::move(d));
+    if (on_readable_) on_readable_();
+  });
+}
+
+void SocketTable::bind_udp(UdpSocket& sock) {
+  const auto [it, inserted] = udp_.emplace(sock.port(), &sock);
+  (void)it;
+  if (!inserted) {
+    throw std::logic_error("SocketTable: UDP port already bound: " +
+                           std::to_string(sock.port()));
+  }
+}
+
+void SocketTable::unbind_udp(std::uint16_t port) { udp_.erase(port); }
+
+UdpSocket* SocketTable::lookup_udp(std::uint16_t port) {
+  const auto it = udp_.find(port);
+  return it == udp_.end() ? nullptr : it->second;
+}
+
+void SocketTable::register_tcp(const net::FiveTuple& incoming_flow,
+                               TcpEndpoint& ep) {
+  const auto [it, inserted] = tcp_.emplace(incoming_flow, &ep);
+  (void)it;
+  if (!inserted) {
+    throw std::logic_error("SocketTable: TCP flow already registered: " +
+                           incoming_flow.to_string());
+  }
+}
+
+void SocketTable::unregister_tcp(const net::FiveTuple& incoming_flow) {
+  tcp_.erase(incoming_flow);
+}
+
+TcpEndpoint* SocketTable::lookup_tcp(const net::FiveTuple& incoming_flow) {
+  const auto it = tcp_.find(incoming_flow);
+  return it == tcp_.end() ? nullptr : it->second;
+}
+
+}  // namespace prism::kernel

@@ -1,0 +1,96 @@
+// Sockets: the kernel/user boundary of the simulated stack.
+//
+// A UdpSocket owns the receive buffer the reception pipeline's last stage
+// enqueues into; applications drain it and get edge notifications, paying
+// syscall and copy costs on their own CPU. A SocketTable is the per-netns
+// demux (one per host root namespace and per container).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "kernel/skb.h"
+#include "net/flow.h"
+#include "net/ip.h"
+#include "sim/simulator.h"
+
+namespace prism::kernel {
+
+class TcpEndpoint;
+
+/// One received datagram as seen above the socket layer.
+struct Datagram {
+  net::Ipv4Addr src_ip;
+  std::uint16_t src_port = 0;
+  std::vector<std::uint8_t> payload;
+  sim::Time enqueued_at = 0;   ///< instant it entered the socket buffer
+  bool high_priority = false;  ///< PRISM classification (diagnostic)
+  SkbTimestamps ts;            ///< pipeline timestamps (diagnostic)
+};
+
+/// UDP socket with a bounded receive buffer.
+class UdpSocket {
+ public:
+  UdpSocket(sim::Simulator& sim, std::uint16_t port,
+            std::size_t capacity = 4096);
+
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Application-side: notification on every enqueue. The callback runs at
+  /// the datagram's socket-arrival instant; the application is expected to
+  /// charge its own wakeup/syscall costs.
+  void set_on_readable(std::function<void()> cb) {
+    on_readable_ = std::move(cb);
+  }
+
+  /// Application-side: dequeue the oldest datagram, nullopt when empty.
+  std::optional<Datagram> try_recv();
+
+  std::size_t queue_depth() const noexcept { return queue_.size(); }
+  bool has_data() const noexcept { return !queue_.empty(); }
+
+  /// Kernel-side: enqueue at simulated instant `at` (>= now). Datagrams
+  /// beyond the buffer capacity are dropped and counted, as the kernel
+  /// does when applications fall behind.
+  void enqueue(Datagram d, sim::Time at);
+
+  std::uint64_t received() const noexcept { return received_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::uint16_t port_;
+  std::size_t capacity_;
+  std::deque<Datagram> queue_;
+  std::function<void()> on_readable_;
+  std::uint64_t received_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Per-namespace socket demultiplexer.
+class SocketTable {
+ public:
+  /// Binds a UDP socket; throws std::logic_error if the port is taken.
+  void bind_udp(UdpSocket& sock);
+  void unbind_udp(std::uint16_t port);
+  UdpSocket* lookup_udp(std::uint16_t port);
+
+  /// Registers a TCP endpoint under the flow as seen in *incoming*
+  /// frames: (remote -> local). Throws std::logic_error on duplicates.
+  void register_tcp(const net::FiveTuple& incoming_flow, TcpEndpoint& ep);
+  void unregister_tcp(const net::FiveTuple& incoming_flow);
+  TcpEndpoint* lookup_tcp(const net::FiveTuple& incoming_flow);
+
+ private:
+  std::unordered_map<std::uint16_t, UdpSocket*> udp_;
+  std::unordered_map<net::FiveTuple, TcpEndpoint*> tcp_;
+};
+
+}  // namespace prism::kernel

@@ -1,0 +1,22 @@
+#include "kernel/softnet.h"
+
+#include "overlay/netns.h"
+
+namespace prism::kernel {
+
+sim::Duration BacklogStage::process_one(SkbPtr skb, sim::Time at,
+                                        double cost_multiplier) {
+  auto cost = static_cast<sim::Duration>(
+      static_cast<double>(cost_.backlog_stage_per_packet) *
+      cost_multiplier);
+  skb->ts.stage3_done = at + cost;
+  if (skb->dst_netns == nullptr) {
+    ++dropped_;
+    return cost;
+  }
+  ++delivered_;
+  cost += deliverer_.deliver(*skb, at + cost, *skb->dst_netns);
+  return cost;
+}
+
+}  // namespace prism::kernel

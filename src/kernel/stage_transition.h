@@ -1,0 +1,82 @@
+// Stage transition functions.
+//
+// In the kernel, gro_cells_receive (bridge) and netif_rx (veth/backlog)
+// move a packet from one pipeline stage into the input queue of the next
+// device and schedule that device's NAPI. PRISM modifies exactly these
+// functions (paper §IV-C):
+//
+//  * PRISM-batch: high-priority packets go to the next device's
+//    high-priority queue and the device is added (or moved) to the *head*
+//    of the poll list — batch-level preemption.
+//  * PRISM-sync: high-priority packets never enter the next queue at all;
+//    the next stage's processing function is invoked synchronously in the
+//    current softirq context (run-to-completion, the equivalent of calling
+//    netif_receive_skb directly).
+//
+// Low-priority packets always take the vanilla path: low queue, tail of
+// the poll list.
+#pragma once
+
+#include "kernel/cost_model.h"
+#include "kernel/napi.h"
+#include "kernel/net_rx_engine.h"
+
+namespace prism::kernel {
+
+/// Mode-aware packet handoff between pipeline stages.
+class StageTransition {
+ public:
+  StageTransition(NetRxEngine& engine, const CostModel& cost)
+      : engine_(engine), cost_(cost) {}
+
+  /// The processing mode of the CPU this transition enqueues on.
+  NapiMode mode() const noexcept { return engine_.mode(); }
+
+  /// Hands `skb` (whose processing at the current stage finished at
+  /// instant `at`) to the stage behind `next`. `cost_multiplier` is the
+  /// cache-pressure factor of the enclosing poll, forwarded so inline
+  /// (PRISM-sync) stages run in the same cache environment. Returns the
+  /// *inline* cost chained onto the current packet's processing —
+  /// non-zero only for a PRISM-sync high-priority packet, whose remaining
+  /// stages execute synchronously.
+  sim::Duration transit(SkbPtr skb, sim::Time at, QueueNapi& next,
+                        double cost_multiplier = 1.0) {
+    const int level = skb->priority;
+    switch (engine_.mode()) {
+      case NapiMode::kVanilla:
+        break;  // vanilla ignores priority entirely
+      case NapiMode::kPrismBatch:
+      case NapiMode::kPrismQueues:
+        if (level > 0) {
+          if (next.enqueue(std::move(skb), level)) {
+            // The engine ignores the head-insertion hint in the
+            // queues-only ablation mode.
+            engine_.napi_schedule(next, /*high=*/true);
+          }
+          return 0;
+        }
+        break;
+      case NapiMode::kPrismSync:
+        if (level > 0) {
+          // Run-to-completion: the packet is processed by the next stage
+          // in the same context; it never touches a queue, and the next
+          // device is never added to the poll list on its behalf
+          // (paper §III-B1).
+          const sim::Duration hop = cost_.sync_transition;
+          return hop + next.stage().process_one(std::move(skb), at + hop,
+                                                cost_multiplier);
+        }
+        break;
+    }
+    if (next.enqueue(std::move(skb), /*level=*/0)) {
+      engine_.napi_schedule(next, /*high=*/false);
+    }
+    return 0;
+  }
+
+ private:
+  NetRxEngine& engine_;
+  const CostModel& cost_;
+};
+
+}  // namespace prism::kernel

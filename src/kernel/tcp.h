@@ -1,0 +1,131 @@
+// Minimal TCP endpoint for the simulated stack.
+//
+// The paper's TCP workloads (sockperf TCP throughput with 64 KB messages,
+// single-connection HTTP) run over a reliable point-to-point link with
+// adequate buffering, so congestion control never engages. This endpoint
+// implements what those workloads exercise:
+//
+//   * MSS segmentation of large sends, with TSO cost semantics (the first
+//     segment pays full egress cost, subsequent segments a small
+//     per-segment cost) — this is the "64 KB packets fragmented into
+//     MTU-sized packets by the egress kernel stack" of the paper's Fig. 13
+//     workload;
+//   * cumulative ACKs, generated per delivered skb (one ACK per GRO
+//     super-skb, as with real GRO + delayed ACK);
+//   * in-order delivery with out-of-order buffering and
+//     retransmission-on-timeout, so packet drops under overload do not
+//     wedge the stream.
+//
+// Connections are created established (the testbed wires both ends); the
+// three-way handshake is out of scope and documented in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "kernel/cost_model.h"
+#include "kernel/cpu.h"
+#include "net/flow.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace prism::overlay {
+class Netns;
+}
+
+namespace prism::kernel {
+
+/// One side of an established TCP connection.
+class TcpEndpoint {
+ public:
+  struct Config {
+    overlay::Netns* ns = nullptr;  ///< local namespace (owns egress)
+    net::Ipv4Addr local_ip;
+    net::Ipv4Addr remote_ip;
+    std::uint16_t local_port = 0;
+    std::uint16_t remote_port = 0;
+    /// Payload bytes per segment. Container overlay paths use a reduced
+    /// MSS because of the 50-byte VXLAN overhead (Docker sets MTU 1450).
+    std::size_t mss = 1400;
+    sim::Duration rto = sim::milliseconds(10);
+  };
+
+  TcpEndpoint(sim::Simulator& sim, const CostModel& cost, Config config);
+
+  TcpEndpoint(const TcpEndpoint&) = delete;
+  TcpEndpoint& operator=(const TcpEndpoint&) = delete;
+
+  /// The flow as it appears in frames *arriving* at this endpoint — the
+  /// SocketTable registration key.
+  net::FiveTuple incoming_flow() const noexcept;
+
+  // ------------------------------------------------------- application
+
+  /// Sends `data` on the stream, charging syscall/copy/egress costs to
+  /// `cpu`. Segments leave the host back to back when the task completes.
+  void send(std::vector<std::uint8_t> data, Cpu& cpu);
+
+  /// In-order stream delivery. Called at the socket-arrival instant of
+  /// each delivered chunk.
+  std::function<void(std::span<const std::uint8_t> data, sim::Time at)>
+      on_data;
+
+  // ------------------------------------------------------------ kernel
+
+  /// Processes one arriving segment at instant `at` (called by the
+  /// reception pipeline's socket-delivery step). Returns extra in-kernel
+  /// cost incurred (ACK transmission). `ack_now` is false for the
+  /// non-final frames of a GRO train, so one ACK covers the whole merge
+  /// (GRO + delayed-ACK behaviour).
+  sim::Duration handle_segment(const net::TcpHeader& header,
+                               std::span<const std::uint8_t> payload,
+                               sim::Time at, bool ack_now = true);
+
+  // ------------------------------------------------------ diagnostics
+
+  std::uint32_t snd_nxt() const noexcept { return snd_nxt_; }
+  std::uint32_t snd_una() const noexcept { return snd_una_; }
+  std::uint32_t rcv_nxt() const noexcept { return rcv_nxt_; }
+  std::uint64_t bytes_delivered() const noexcept { return delivered_; }
+  std::uint64_t retransmissions() const noexcept { return retransmits_; }
+  std::uint64_t acks_sent() const noexcept { return acks_sent_; }
+  std::size_t unacked_bytes() const noexcept { return rtx_buffer_.size(); }
+
+ private:
+  void transmit_range(std::uint32_t from_seq,
+                      std::span<const std::uint8_t> data, sim::Time at);
+  void send_ack(sim::Time at);
+  void arm_rto();
+  void on_rto();
+  net::PacketBuf build_segment(std::uint32_t seq,
+                               std::span<const std::uint8_t> payload,
+                               bool push) const;
+  /// Wrap-safe sequence comparison: a > b.
+  static bool seq_gt(std::uint32_t a, std::uint32_t b) noexcept {
+    return static_cast<std::int32_t>(a - b) > 0;
+  }
+
+  sim::Simulator& sim_;
+  const CostModel& cost_;
+  Config cfg_;
+
+  // Sender state.
+  std::uint32_t snd_nxt_ = 1;
+  std::uint32_t snd_una_ = 1;
+  std::vector<std::uint8_t> rtx_buffer_;  ///< unacked bytes from snd_una_
+  std::uint64_t rto_epoch_ = 0;           ///< invalidates stale timers
+  bool rto_armed_ = false;
+
+  // Receiver state.
+  std::uint32_t rcv_nxt_ = 1;
+  std::map<std::uint32_t, std::vector<std::uint8_t>> ooo_;
+
+  std::uint64_t delivered_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t acks_sent_ = 0;
+};
+
+}  // namespace prism::kernel

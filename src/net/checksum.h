@@ -1,0 +1,35 @@
+// RFC 1071 Internet checksum.
+//
+// Header codecs fill and verify real checksums so that corrupted or
+// mis-encoded packets are caught by the simulated protocol stack exactly as
+// they would be by a real one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace prism::net {
+
+/// One's-complement 16-bit Internet checksum over `data`. Returns the value
+/// to store in a header checksum field (i.e. already complemented).
+/// Verifying: checksum over a buffer with a correct embedded checksum
+/// yields 0.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept;
+
+/// Incremental accumulator, used for pseudo-header + payload sums (UDP/TCP).
+class ChecksumAccumulator {
+ public:
+  void add(std::span<const std::uint8_t> data) noexcept;
+  void add_u16(std::uint16_t value) noexcept;
+  void add_u32(std::uint32_t value) noexcept;
+
+  /// Finalized (complemented) checksum.
+  std::uint16_t finish() const noexcept;
+
+ private:
+  std::uint64_t sum_ = 0;
+  bool odd_ = false;  // true when an odd byte is pending
+};
+
+}  // namespace prism::net

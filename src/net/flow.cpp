@@ -1,0 +1,29 @@
+#include "net/flow.h"
+
+#include "net/packet.h"
+
+namespace prism::net {
+
+std::string FiveTuple::to_string() const {
+  std::string proto = protocol == IpProto::kTcp ? "tcp" : "udp";
+  return proto + " " + src_ip.to_string() + ":" +
+         std::to_string(src_port) + " -> " + dst_ip.to_string() + ":" +
+         std::to_string(dst_port);
+}
+
+FiveTuple flow_of(const ParsedFrame& frame) {
+  FiveTuple f;
+  f.src_ip = frame.ip.src;
+  f.dst_ip = frame.ip.dst;
+  f.protocol = frame.ip.protocol;
+  if (frame.udp) {
+    f.src_port = frame.udp->src_port;
+    f.dst_port = frame.udp->dst_port;
+  } else if (frame.tcp) {
+    f.src_port = frame.tcp->src_port;
+    f.dst_port = frame.tcp->dst_port;
+  }
+  return f;
+}
+
+}  // namespace prism::net

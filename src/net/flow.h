@@ -1,0 +1,52 @@
+// Flow identification.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/headers.h"
+#include "net/ip.h"
+
+namespace prism::net {
+
+/// Classic 5-tuple identifying a transport flow.
+struct FiveTuple {
+  Ipv4Addr src_ip;
+  Ipv4Addr dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  IpProto protocol = IpProto::kUdp;
+
+  auto operator<=>(const FiveTuple&) const = default;
+
+  /// The same flow seen from the other direction.
+  FiveTuple reversed() const noexcept {
+    return {dst_ip, src_ip, dst_port, src_port, protocol};
+  }
+
+  std::string to_string() const;
+};
+
+/// Extracts the 5-tuple from a parsed frame. Ports are zero for
+/// non-UDP/TCP protocols.
+FiveTuple flow_of(const struct ParsedFrame& frame);
+
+}  // namespace prism::net
+
+template <>
+struct std::hash<prism::net::FiveTuple> {
+  std::size_t operator()(const prism::net::FiveTuple& f) const noexcept {
+    std::uint64_t a = (std::uint64_t{f.src_ip.value} << 32) | f.dst_ip.value;
+    std::uint64_t b = (std::uint64_t{f.src_port} << 32) |
+                      (std::uint64_t{f.dst_port} << 16) |
+                      static_cast<std::uint64_t>(f.protocol);
+    // 64-bit mix (splitmix-style) of the two halves.
+    std::uint64_t x = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};

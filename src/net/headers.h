@@ -1,0 +1,129 @@
+// Wire-format header codecs: Ethernet, IPv4, UDP, TCP and VXLAN.
+//
+// Packets in the simulator are real byte buffers; every stage parses and
+// writes genuine wire formats (network byte order, real checksums). This
+// keeps the encapsulation/decapsulation path honest: a VXLAN decap bug or a
+// wrong length field fails in the simulated stack just as it would in the
+// kernel.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/ip.h"
+#include "net/mac.h"
+
+namespace prism::net {
+
+/// EtherType values used by the simulator.
+enum class EtherType : std::uint16_t {
+  kIpv4 = 0x0800,
+  kArp = 0x0806,
+};
+
+/// IP protocol numbers used by the simulator.
+enum class IpProto : std::uint8_t {
+  kTcp = 6,
+  kUdp = 17,
+};
+
+/// UDP destination port carrying VXLAN (IANA assigned).
+constexpr std::uint16_t kVxlanPort = 4789;
+
+struct EthernetHeader {
+  static constexpr std::size_t kSize = 14;
+
+  MacAddr dst;
+  MacAddr src;
+  EtherType ether_type = EtherType::kIpv4;
+
+  void serialize(std::vector<std::uint8_t>& out) const;
+  static std::optional<EthernetHeader> parse(
+      std::span<const std::uint8_t> data);
+};
+
+struct Ipv4Header {
+  static constexpr std::size_t kSize = 20;  // no options
+
+  std::uint8_t dscp = 0;
+  std::uint16_t total_length = 0;  // header + payload, bytes
+  std::uint16_t identification = 0;
+  std::uint8_t ttl = 64;
+  IpProto protocol = IpProto::kUdp;
+  Ipv4Addr src;
+  Ipv4Addr dst;
+
+  /// Serializes with a correct header checksum.
+  void serialize(std::vector<std::uint8_t>& out) const;
+
+  /// Parses and verifies the header checksum; returns nullopt on a short
+  /// buffer, non-IPv4 version, options (IHL != 5) or checksum mismatch.
+  static std::optional<Ipv4Header> parse(std::span<const std::uint8_t> data);
+};
+
+struct UdpHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  // header + payload, bytes
+
+  /// Serializes with the UDP checksum over the IPv4 pseudo-header and
+  /// `payload`.
+  void serialize(std::vector<std::uint8_t>& out, Ipv4Addr src_ip,
+                 Ipv4Addr dst_ip,
+                 std::span<const std::uint8_t> payload) const;
+
+  /// Parses the header. Checksum verification is separate (verify_checksum)
+  /// because it needs the pseudo-header addresses.
+  static std::optional<UdpHeader> parse(std::span<const std::uint8_t> data);
+
+  /// Verifies the checksum of a full UDP datagram (header + payload).
+  static bool verify_checksum(std::span<const std::uint8_t> datagram,
+                              Ipv4Addr src_ip, Ipv4Addr dst_ip);
+};
+
+/// TCP flag bits.
+struct TcpFlags {
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kRst = 0x04;
+  static constexpr std::uint8_t kPsh = 0x08;
+  static constexpr std::uint8_t kAck = 0x10;
+};
+
+struct TcpHeader {
+  static constexpr std::size_t kSize = 20;  // no options
+
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 0xffff;
+
+  void serialize(std::vector<std::uint8_t>& out, Ipv4Addr src_ip,
+                 Ipv4Addr dst_ip,
+                 std::span<const std::uint8_t> payload) const;
+
+  static std::optional<TcpHeader> parse(std::span<const std::uint8_t> data);
+
+  static bool verify_checksum(std::span<const std::uint8_t> segment,
+                              Ipv4Addr src_ip, Ipv4Addr dst_ip);
+};
+
+/// VXLAN header (RFC 7348): flags + 24-bit VNI.
+struct VxlanHeader {
+  static constexpr std::size_t kSize = 8;
+
+  std::uint32_t vni = 0;  // 24-bit virtual network identifier
+
+  void serialize(std::vector<std::uint8_t>& out) const;
+
+  /// Returns nullopt on short buffer or missing valid-VNI flag.
+  static std::optional<VxlanHeader> parse(std::span<const std::uint8_t> data);
+};
+
+}  // namespace prism::net

@@ -1,0 +1,29 @@
+#include "net/ip.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace prism::net {
+
+std::string Ipv4Addr::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value >> 24) & 0xff,
+                (value >> 16) & 0xff, (value >> 8) & 0xff, value & 0xff);
+  return buf;
+}
+
+Ipv4Addr Ipv4Addr::parse(const std::string& text) {
+  unsigned a, b, c, d;
+  char tail;
+  if (std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail) !=
+      4) {
+    throw std::invalid_argument("Ipv4Addr::parse: bad format: " + text);
+  }
+  if (a > 255 || b > 255 || c > 255 || d > 255) {
+    throw std::invalid_argument("Ipv4Addr::parse: octet out of range");
+  }
+  return of(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+            static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+}  // namespace prism::net

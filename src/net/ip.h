@@ -1,0 +1,42 @@
+// IPv4 addresses.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace prism::net {
+
+/// IPv4 address stored as a host-order 32-bit integer.
+struct Ipv4Addr {
+  std::uint32_t value = 0;
+
+  auto operator<=>(const Ipv4Addr&) const = default;
+
+  static constexpr Ipv4Addr any() noexcept { return Ipv4Addr{0}; }
+
+  /// Builds from dotted octets: Ipv4Addr::of(10, 0, 0, 1).
+  static constexpr Ipv4Addr of(std::uint8_t a, std::uint8_t b,
+                               std::uint8_t c, std::uint8_t d) noexcept {
+    return Ipv4Addr{(std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+                    (std::uint32_t{c} << 8) | std::uint32_t{d}};
+  }
+
+  /// "10.0.0.1" rendering.
+  std::string to_string() const;
+
+  /// Parses dotted-quad notation; throws std::invalid_argument on bad
+  /// input.
+  static Ipv4Addr parse(const std::string& text);
+};
+
+}  // namespace prism::net
+
+template <>
+struct std::hash<prism::net::Ipv4Addr> {
+  std::size_t operator()(const prism::net::Ipv4Addr& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value);
+  }
+};

@@ -1,0 +1,49 @@
+#include "net/mac.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace prism::net {
+
+MacAddr MacAddr::broadcast() noexcept {
+  MacAddr m;
+  m.bytes.fill(0xff);
+  return m;
+}
+
+MacAddr MacAddr::make(std::uint32_t id) noexcept {
+  // 0x02 prefix: locally administered, unicast.
+  return MacAddr{{0x02, 0x00, static_cast<std::uint8_t>(id >> 24),
+                  static_cast<std::uint8_t>(id >> 16),
+                  static_cast<std::uint8_t>(id >> 8),
+                  static_cast<std::uint8_t>(id)}};
+}
+
+bool MacAddr::is_broadcast() const noexcept { return *this == broadcast(); }
+
+bool MacAddr::is_multicast() const noexcept { return (bytes[0] & 0x01) != 0; }
+
+std::string MacAddr::to_string() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", bytes[0],
+                bytes[1], bytes[2], bytes[3], bytes[4], bytes[5]);
+  return buf;
+}
+
+MacAddr MacAddr::parse(const std::string& text) {
+  MacAddr m;
+  unsigned v[6];
+  if (std::sscanf(text.c_str(), "%x:%x:%x:%x:%x:%x", &v[0], &v[1], &v[2],
+                  &v[3], &v[4], &v[5]) != 6) {
+    throw std::invalid_argument("MacAddr::parse: bad format: " + text);
+  }
+  for (int i = 0; i < 6; ++i) {
+    if (v[i] > 0xff) {
+      throw std::invalid_argument("MacAddr::parse: octet out of range");
+    }
+    m.bytes[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v[i]);
+  }
+  return m;
+}
+
+}  // namespace prism::net

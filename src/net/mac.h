@@ -1,0 +1,45 @@
+// Ethernet MAC addresses.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace prism::net {
+
+/// 48-bit Ethernet MAC address, stored in network byte order.
+struct MacAddr {
+  std::array<std::uint8_t, 6> bytes{};
+
+  auto operator<=>(const MacAddr&) const = default;
+
+  /// Broadcast address ff:ff:ff:ff:ff:ff.
+  static MacAddr broadcast() noexcept;
+
+  /// Deterministically generated locally-administered unicast address.
+  /// Used by the testbed to assign unique MACs to simulated interfaces.
+  static MacAddr make(std::uint32_t id) noexcept;
+
+  bool is_broadcast() const noexcept;
+  bool is_multicast() const noexcept;
+
+  /// "aa:bb:cc:dd:ee:ff" rendering.
+  std::string to_string() const;
+
+  /// Parses "aa:bb:cc:dd:ee:ff"; throws std::invalid_argument on bad input.
+  static MacAddr parse(const std::string& text);
+};
+
+}  // namespace prism::net
+
+template <>
+struct std::hash<prism::net::MacAddr> {
+  std::size_t operator()(const prism::net::MacAddr& m) const noexcept {
+    std::uint64_t v = 0;
+    for (auto b : m.bytes) v = (v << 8) | b;
+    return std::hash<std::uint64_t>{}(v);
+  }
+};

@@ -1,0 +1,159 @@
+#include "net/packet.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace prism::net {
+
+PacketBuf PacketBuf::with_headroom(std::size_t headroom,
+                                   std::span<const std::uint8_t> payload) {
+  PacketBuf p;
+  p.data_.resize(headroom + payload.size());
+  std::copy(payload.begin(), payload.end(), p.data_.begin() +
+            static_cast<std::ptrdiff_t>(headroom));
+  p.offset_ = headroom;
+  return p;
+}
+
+void PacketBuf::push_front(std::span<const std::uint8_t> header) {
+  if (header.size() <= offset_) {
+    offset_ -= header.size();
+    std::copy(header.begin(), header.end(),
+              data_.begin() + static_cast<std::ptrdiff_t>(offset_));
+    return;
+  }
+  // Not enough headroom: rebuild with room for this header plus a fresh
+  // reserve for any further encapsulation.
+  std::vector<std::uint8_t> grown;
+  grown.resize(kEncapHeadroom + header.size() + size());
+  std::copy(header.begin(), header.end(),
+            grown.begin() + static_cast<std::ptrdiff_t>(kEncapHeadroom));
+  const auto old = bytes();
+  std::copy(old.begin(), old.end(),
+            grown.begin() +
+                static_cast<std::ptrdiff_t>(kEncapHeadroom + header.size()));
+  data_ = std::move(grown);
+  offset_ = kEncapHeadroom;
+}
+
+void PacketBuf::pop_front(std::size_t n) {
+  if (n > size()) {
+    throw std::out_of_range("PacketBuf::pop_front: beyond packet end");
+  }
+  offset_ += n;
+}
+
+namespace {
+
+// Serializes eth+ip+l4 headers for `l4_size + payload_size` bytes of L4
+// data into a fresh vector.
+std::vector<std::uint8_t> build_headers_udp(
+    const FrameSpec& spec, std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> hdr;
+  hdr.reserve(EthernetHeader::kSize + Ipv4Header::kSize + UdpHeader::kSize);
+
+  EthernetHeader eth{spec.dst_mac, spec.src_mac, EtherType::kIpv4};
+  eth.serialize(hdr);
+
+  Ipv4Header ip;
+  ip.dscp = spec.dscp;
+  ip.protocol = IpProto::kUdp;
+  ip.src = spec.src_ip;
+  ip.dst = spec.dst_ip;
+  ip.total_length = static_cast<std::uint16_t>(
+      Ipv4Header::kSize + UdpHeader::kSize + payload.size());
+  ip.serialize(hdr);
+
+  UdpHeader udp;
+  udp.src_port = spec.src_port;
+  udp.dst_port = spec.dst_port;
+  udp.length = static_cast<std::uint16_t>(UdpHeader::kSize + payload.size());
+  udp.serialize(hdr, spec.src_ip, spec.dst_ip, payload);
+  return hdr;
+}
+
+}  // namespace
+
+PacketBuf build_udp_frame(const FrameSpec& spec,
+                          std::span<const std::uint8_t> payload) {
+  PacketBuf p = PacketBuf::from_payload(payload);
+  p.push_front(build_headers_udp(spec, payload));
+  return p;
+}
+
+PacketBuf build_tcp_frame(const FrameSpec& spec, const TcpHeader& tcp,
+                          std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> hdr;
+  hdr.reserve(EthernetHeader::kSize + Ipv4Header::kSize + TcpHeader::kSize);
+
+  EthernetHeader eth{spec.dst_mac, spec.src_mac, EtherType::kIpv4};
+  eth.serialize(hdr);
+
+  Ipv4Header ip;
+  ip.dscp = spec.dscp;
+  ip.protocol = IpProto::kTcp;
+  ip.src = spec.src_ip;
+  ip.dst = spec.dst_ip;
+  ip.total_length = static_cast<std::uint16_t>(
+      Ipv4Header::kSize + TcpHeader::kSize + payload.size());
+  ip.serialize(hdr);
+
+  TcpHeader t = tcp;
+  t.src_port = spec.src_port;
+  t.dst_port = spec.dst_port;
+  t.serialize(hdr, spec.src_ip, spec.dst_ip, payload);
+
+  PacketBuf p = PacketBuf::from_payload(payload);
+  p.push_front(hdr);
+  return p;
+}
+
+void vxlan_encapsulate(PacketBuf& frame, const FrameSpec& outer,
+                       std::uint32_t vni) {
+  // VXLAN payload = VXLAN header + inner frame; build the VXLAN header
+  // first so the UDP checksum can cover it together with the inner frame.
+  std::vector<std::uint8_t> vxlan_bytes;
+  VxlanHeader{vni}.serialize(vxlan_bytes);
+  frame.push_front(vxlan_bytes);
+
+  FrameSpec udp_spec = outer;
+  udp_spec.dst_port = kVxlanPort;
+  frame.push_front(build_headers_udp(udp_spec, frame.bytes()));
+}
+
+std::optional<ParsedFrame> parse_frame(
+    std::span<const std::uint8_t> frame) {
+  ParsedFrame out;
+  auto eth = EthernetHeader::parse(frame);
+  if (!eth) return std::nullopt;
+  out.eth = *eth;
+  if (eth->ether_type != EtherType::kIpv4) return std::nullopt;
+
+  auto ip_bytes = frame.subspan(EthernetHeader::kSize);
+  auto ip = Ipv4Header::parse(ip_bytes);
+  if (!ip) return std::nullopt;
+  out.ip = *ip;
+
+  // Trust total_length over the buffer size (buffers may carry padding).
+  auto l4 = ip_bytes.subspan(Ipv4Header::kSize,
+                             ip->total_length - Ipv4Header::kSize);
+  const std::size_t l4_offset = EthernetHeader::kSize + Ipv4Header::kSize;
+
+  if (ip->protocol == IpProto::kUdp) {
+    auto udp = UdpHeader::parse(l4);
+    if (!udp) return std::nullopt;
+    out.udp = *udp;
+    out.l4_payload = l4.subspan(UdpHeader::kSize,
+                                udp->length - UdpHeader::kSize);
+    out.l4_payload_offset = l4_offset + UdpHeader::kSize;
+  } else if (ip->protocol == IpProto::kTcp) {
+    auto tcp = TcpHeader::parse(l4);
+    if (!tcp) return std::nullopt;
+    out.tcp = *tcp;
+    out.l4_payload = l4.subspan(TcpHeader::kSize);
+    out.l4_payload_offset = l4_offset + TcpHeader::kSize;
+  }
+  return out;
+}
+
+}  // namespace prism::net

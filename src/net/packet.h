@@ -1,0 +1,115 @@
+// Packet buffers and frame assembly.
+//
+// A PacketBuf is a contiguous byte buffer with reserved headroom, mirroring
+// the kernel's sk_buff data area: encapsulation prepends headers into the
+// headroom without copying the payload; decapsulation strips them by
+// advancing the data offset.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/headers.h"
+
+namespace prism::net {
+
+/// Standard Ethernet MTU used throughout the simulator.
+constexpr std::size_t kMtu = 1500;
+
+/// Headroom reserved for one level of VXLAN encapsulation
+/// (Ethernet + IPv4 + UDP + VXLAN).
+constexpr std::size_t kEncapHeadroom = EthernetHeader::kSize +
+                                       Ipv4Header::kSize + UdpHeader::kSize +
+                                       VxlanHeader::kSize;
+
+/// Byte buffer with headroom, the payload carrier of every simulated
+/// packet.
+class PacketBuf {
+ public:
+  PacketBuf() = default;
+
+  /// Creates a buffer holding `payload` with `headroom` free bytes in
+  /// front.
+  static PacketBuf with_headroom(std::size_t headroom,
+                                 std::span<const std::uint8_t> payload);
+
+  /// Creates a buffer holding `payload` with enough headroom for the
+  /// packet's own L2-L4 headers plus one level of VXLAN encapsulation.
+  static PacketBuf from_payload(std::span<const std::uint8_t> payload) {
+    // 64 covers Ethernet + IPv4 + TCP (54) with slack.
+    return with_headroom(kEncapHeadroom + 64, payload);
+  }
+
+  /// Current packet bytes (post-headroom).
+  std::span<const std::uint8_t> bytes() const noexcept {
+    return {data_.data() + offset_, data_.size() - offset_};
+  }
+
+  std::size_t size() const noexcept { return data_.size() - offset_; }
+  bool empty() const noexcept { return size() == 0; }
+
+  /// Prepends `header` to the packet. Uses headroom when available,
+  /// otherwise reallocates (with fresh headroom).
+  void push_front(std::span<const std::uint8_t> header);
+
+  /// Strips `n` bytes from the front (e.g. decapsulation). Throws
+  /// std::out_of_range if n > size().
+  void pop_front(std::size_t n);
+
+  /// Remaining headroom in bytes.
+  std::size_t headroom() const noexcept { return offset_; }
+
+ private:
+  std::vector<std::uint8_t> data_;
+  std::size_t offset_ = 0;
+};
+
+/// Addressing for an L2+L3+L4 frame build.
+struct FrameSpec {
+  MacAddr src_mac;
+  MacAddr dst_mac;
+  Ipv4Addr src_ip;
+  Ipv4Addr dst_ip;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t dscp = 0;
+};
+
+/// Builds a complete Ethernet/IPv4/UDP frame around `payload`.
+PacketBuf build_udp_frame(const FrameSpec& spec,
+                          std::span<const std::uint8_t> payload);
+
+/// Builds a complete Ethernet/IPv4/TCP frame. `tcp` supplies seq/ack/flags;
+/// ports are taken from `spec`.
+PacketBuf build_tcp_frame(const FrameSpec& spec, const TcpHeader& tcp,
+                          std::span<const std::uint8_t> payload);
+
+/// Wraps an existing inner Ethernet frame in VXLAN (outer Ethernet + IPv4 +
+/// UDP[4789] + VXLAN). Prepends in place using the buffer headroom.
+void vxlan_encapsulate(PacketBuf& frame, const FrameSpec& outer,
+                       std::uint32_t vni);
+
+/// Result of parsing a frame down to L4. Spans reference the buffer passed
+/// to parse_frame and are invalidated with it.
+struct ParsedFrame {
+  EthernetHeader eth;
+  Ipv4Header ip;
+  std::optional<UdpHeader> udp;
+  std::optional<TcpHeader> tcp;
+  /// L4 payload (UDP payload / TCP payload). Empty for other protocols.
+  std::span<const std::uint8_t> l4_payload;
+  /// Offset of the L4 payload from the start of the frame.
+  std::size_t l4_payload_offset = 0;
+
+  bool is_vxlan() const noexcept {
+    return udp.has_value() && udp->dst_port == kVxlanPort;
+  }
+};
+
+/// Parses Ethernet/IPv4/{UDP,TCP}. Returns nullopt on malformed input
+/// (short buffers, bad IP checksum, unknown EtherType).
+std::optional<ParsedFrame> parse_frame(std::span<const std::uint8_t> frame);
+
+}  // namespace prism::net

@@ -1,0 +1,124 @@
+#include "nic/nic.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "net/flow.h"
+#include "nic/wire.h"
+
+namespace prism::nic {
+
+RxQueue::RxQueue(sim::Simulator& sim, std::size_t capacity,
+                 CoalesceConfig coalesce)
+    : sim_(sim), capacity_(capacity), coalesce_(coalesce) {
+  if (capacity == 0) {
+    throw std::invalid_argument("RxQueue: capacity must be positive");
+  }
+  if (coalesce.frames < 1) {
+    throw std::invalid_argument("RxQueue: coalesce.frames must be >= 1");
+  }
+}
+
+void RxQueue::set_irq_handler(std::function<void()> handler) {
+  irq_handler_ = std::move(handler);
+}
+
+void RxQueue::push(net::PacketBuf frame) {
+  if (ring_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  ring_.push_back(Entry{std::move(frame), sim_.now()});
+  ++received_;
+  maybe_fire();
+}
+
+void RxQueue::maybe_fire() {
+  if (!irq_enabled_ || ring_.empty()) return;
+  if (coalesce_.usecs == 0 ||
+      static_cast<int>(ring_.size()) >=
+          coalesce_.frames ||
+      sim_.now() - last_fire_ >= coalesce_.usecs) {
+    // No moderation, frame threshold reached, or the line has been quiet
+    // long enough (adaptive low-rate behaviour): interrupt immediately.
+    fire_irq();
+    return;
+  }
+  // Moderated: one interrupt per `usecs`. Arm a timer for the end of the
+  // current moderation window.
+  if (timer_armed_) return;
+  timer_armed_ = true;
+  const std::uint64_t epoch = epoch_;
+  sim_.schedule_at(last_fire_ + coalesce_.usecs, [this, epoch] {
+    if (epoch != epoch_) return;  // an earlier fire superseded this timer
+    timer_armed_ = false;
+    if (irq_enabled_ && !ring_.empty()) fire_irq();
+  });
+}
+
+std::optional<RxQueue::Entry> RxQueue::pop() {
+  if (ring_.empty()) return std::nullopt;
+  Entry e = std::move(ring_.front());
+  ring_.pop_front();
+  return e;
+}
+
+void RxQueue::enable_irq() {
+  irq_enabled_ = true;
+  maybe_fire();
+}
+
+void RxQueue::fire_irq() {
+  irq_enabled_ = false;
+  last_fire_ = sim_.now();
+  ++epoch_;
+  timer_armed_ = false;
+  ++irqs_;
+  if (irq_handler_) irq_handler_();
+}
+
+Nic::Nic(sim::Simulator& sim, int num_queues, std::size_t ring_capacity,
+         CoalesceConfig coalesce)
+    : sim_(sim) {
+  if (num_queues < 1) {
+    throw std::invalid_argument("Nic: need at least one queue");
+  }
+  queues_.reserve(static_cast<std::size_t>(num_queues));
+  for (int i = 0; i < num_queues; ++i) {
+    queues_.push_back(
+        std::make_unique<RxQueue>(sim, ring_capacity, coalesce));
+  }
+}
+
+void Nic::transmit(net::PacketBuf frame) {
+  if (wire_ == nullptr) {
+    throw std::logic_error("Nic::transmit: no wire attached");
+  }
+  ++tx_frames_;
+  wire_->transmit_from(*this, std::move(frame));
+}
+
+void Nic::receive(net::PacketBuf frame) {
+  ++rx_frames_;
+  const int q = rss_hash(frame.bytes());
+  queues_[static_cast<std::size_t>(q)]->push(std::move(frame));
+}
+
+std::uint64_t Nic::rx_dropped() const {
+  std::uint64_t total = 0;
+  for (const auto& q : queues_) total += q->frames_dropped();
+  return total;
+}
+
+int Nic::rss_hash(std::span<const std::uint8_t> frame) const {
+  if (queues_.size() == 1) return 0;
+  // Hash of the outer 5-tuple, as hardware RSS does. VXLAN entropy comes
+  // from the outer UDP source port, which encapsulation derives from the
+  // inner flow.
+  const auto parsed = net::parse_frame(frame);
+  if (!parsed) return 0;
+  const auto h = std::hash<net::FiveTuple>{}(net::flow_of(*parsed));
+  return static_cast<int>(h % queues_.size());
+}
+
+}  // namespace prism::nic

@@ -1,0 +1,52 @@
+// Point-to-point physical link between two NICs.
+//
+// Models the paper's testbed topology: two hosts directly connected with a
+// 100 GbE cable. Frames serialize onto the wire at link bandwidth
+// (per-direction FIFO) and arrive after the propagation delay.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace prism::nic {
+
+class Nic;
+
+/// Full-duplex point-to-point link.
+class Wire {
+ public:
+  /// `bandwidth_gbps` is per direction. The paper's testbed used 100 GbE.
+  Wire(sim::Simulator& sim, double bandwidth_gbps = 100.0,
+       sim::Duration propagation = sim::nanoseconds(500));
+
+  Wire(const Wire&) = delete;
+  Wire& operator=(const Wire&) = delete;
+
+  /// Attaches the two endpoints. Must be called exactly once before any
+  /// transmit.
+  void attach(Nic& a, Nic& b);
+
+  /// Puts `frame` on the wire from endpoint `src`. The frame is delivered
+  /// to the opposite endpoint after queueing (if the direction is busy),
+  /// serialization, and propagation.
+  void transmit_from(const Nic& src, net::PacketBuf frame);
+
+  /// Serialization time of a frame of `bytes` at link bandwidth.
+  sim::Duration serialization_time(std::size_t bytes) const noexcept;
+
+  std::uint64_t frames_delivered() const noexcept { return delivered_; }
+
+ private:
+  sim::Simulator& sim_;
+  double bits_per_ns_;
+  sim::Duration propagation_;
+  Nic* a_ = nullptr;
+  Nic* b_ = nullptr;
+  sim::Time busy_until_ab_ = 0;
+  sim::Time busy_until_ba_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace prism::nic

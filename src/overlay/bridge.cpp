@@ -1,0 +1,72 @@
+#include "overlay/bridge.h"
+
+#include "net/flow.h"
+#include "net/headers.h"
+#include "overlay/netns.h"
+
+namespace prism::overlay {
+
+sim::Duration BridgeStage::process_one(kernel::SkbPtr skb, sim::Time at,
+                                       double cost_multiplier) {
+  auto cost = static_cast<sim::Duration>(
+      static_cast<double>(cost_.bridge_stage_per_packet) *
+      cost_multiplier);
+  const auto eth = net::EthernetHeader::parse(skb->buf.bytes());
+  Netns* dst = eth ? fdb_.lookup(eth->dst) : nullptr;
+  skb->ts.stage2_done = at + cost;
+  if (dst == nullptr) {
+    // Unknown destination: a real bridge would flood; with static FDB
+    // entries for every container a miss is a wiring error — drop and
+    // count so tests catch it.
+    ++dropped_;
+    return cost;
+  }
+  ++forwarded_;
+  skb->dst_netns = dst;
+  skb->stage = 3;
+
+  // Receive Packet Steering: hash the inner flow across the configured
+  // CPUs at the netif_rx boundary. PRISM-sync high-priority packets are
+  // processed inline before netif_rx is reached, so they are exempt.
+  const bool sync_inline =
+      skb->high_priority() &&
+      transition_.mode() == kernel::NapiMode::kPrismSync;
+  if (!rps_targets_.empty() && !sync_inline) {
+    const auto inner = net::parse_frame(skb->buf.bytes());
+    const std::size_t hash =
+        inner ? std::hash<net::FiveTuple>{}(net::flow_of(*inner)) : 0;
+    const RpsTarget& target = rps_targets_[hash % rps_targets_.size()];
+    if (target.backlog != &backlog_) {
+      ++rps_steered_;
+      cost += cost_.rps_steer_cost;
+      // The packet becomes visible on the target CPU one IPI later.
+      sim_->schedule_at(
+          at + cost + cost_.ipi_latency,
+          [this, target, skb = skb.release()]() mutable {
+            target.transition->transit(kernel::SkbPtr(skb), sim_->now(),
+                                       *target.backlog);
+          });
+      return cost;
+    }
+  }
+
+  return cost + transition_.transit(std::move(skb), at + cost, backlog_,
+                                    cost_multiplier);
+}
+
+Bridge::Bridge(std::uint32_t vni, const kernel::CostModel& cost, Fdb& fdb,
+               const std::vector<kernel::StageTransition*>& transitions,
+               const std::vector<kernel::QueueNapi*>& backlogs)
+    : vni_(vni) {
+  cells_.reserve(transitions.size());
+  for (std::size_t i = 0; i < transitions.size(); ++i) {
+    Cell cell;
+    cell.stage = std::make_unique<BridgeStage>(
+        "br", cost, fdb, *transitions[i], *backlogs[i]);
+    cell.napi = std::make_unique<kernel::QueueNapi>("br", *cell.stage,
+                                                    cost);
+    cells_.push_back(std::move(cell));
+  }
+}
+
+}  // namespace prism::overlay

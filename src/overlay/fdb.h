@@ -1,0 +1,46 @@
+// Bridge forwarding database.
+//
+// Maps inner destination MACs to local bridge ports (container
+// namespaces). Docker's overlay driver programs these entries statically
+// when containers attach; the simulator's overlay manager does the same.
+// Remote MACs are not stored here — they are resolved at encapsulation
+// time by the VXLAN tunnel endpoint table.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "net/mac.h"
+
+namespace prism::overlay {
+
+class Netns;
+
+/// Static MAC -> local port (container) table with miss counting.
+class Fdb {
+ public:
+  void add(net::MacAddr mac, Netns& container) {
+    entries_[mac] = &container;
+  }
+
+  void remove(net::MacAddr mac) { entries_.erase(mac); }
+
+  /// Returns the container behind `mac`, or nullptr (counted as a miss).
+  Netns* lookup(net::MacAddr mac) {
+    const auto it = entries_.find(mac);
+    if (it == entries_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    return it->second;
+  }
+
+  std::size_t size() const noexcept { return entries_.size(); }
+  std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  std::unordered_map<net::MacAddr, Netns*> entries_;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace prism::overlay

@@ -1,0 +1,4 @@
+#include "overlay/netns.h"
+
+// Header-only logic; this translation unit anchors the target's source
+// list.

@@ -1,0 +1,73 @@
+// Network namespaces.
+//
+// Every host has a root namespace (its native network identity) and one
+// namespace per container. A namespace bundles the identity (IP, MAC), the
+// socket table packets demux into, a neighbour (ARP) table for its L2
+// domain, and the egress hook the owning Host installs (native TX for the
+// root namespace; veth -> bridge -> VXLAN for containers).
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+#include "kernel/socket.h"
+#include "net/ip.h"
+#include "net/mac.h"
+#include "net/packet.h"
+
+namespace prism::overlay {
+
+/// One network namespace (host root ns or a container ns).
+class Netns {
+ public:
+  Netns(std::string name, net::Ipv4Addr ip, net::MacAddr mac,
+        bool is_container)
+      : name_(std::move(name)),
+        ip_(ip),
+        mac_(mac),
+        is_container_(is_container) {}
+
+  Netns(const Netns&) = delete;
+  Netns& operator=(const Netns&) = delete;
+
+  const std::string& name() const noexcept { return name_; }
+  net::Ipv4Addr ip() const noexcept { return ip_; }
+  net::MacAddr mac() const noexcept { return mac_; }
+  bool is_container() const noexcept { return is_container_; }
+
+  kernel::SocketTable& sockets() noexcept { return sockets_; }
+
+  /// Static neighbour table (the testbed plays the ARP role).
+  void add_neighbor(net::Ipv4Addr ip, net::MacAddr mac) {
+    neighbors_[ip] = mac;
+  }
+
+  /// Resolves a destination IP in this namespace's L2 domain; throws
+  /// std::out_of_range for unknown neighbours (no dynamic ARP in the
+  /// simulator — wiring bugs should fail loudly).
+  net::MacAddr neighbor(net::Ipv4Addr ip) const {
+    const auto it = neighbors_.find(ip);
+    if (it == neighbors_.end()) {
+      throw std::out_of_range("Netns " + name_ + ": no neighbor for " +
+                              ip.to_string());
+    }
+    return it->second;
+  }
+
+  /// Egress hook, installed by the owning Host: transmits a fully built
+  /// L2 frame out of this namespace. For containers this performs the
+  /// overlay encapsulation.
+  std::function<void(net::PacketBuf)> egress;
+
+ private:
+  std::string name_;
+  net::Ipv4Addr ip_;
+  net::MacAddr mac_;
+  bool is_container_;
+  kernel::SocketTable sockets_;
+  std::unordered_map<net::Ipv4Addr, net::MacAddr> neighbors_;
+};
+
+}  // namespace prism::overlay

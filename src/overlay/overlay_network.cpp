@@ -1,0 +1,25 @@
+#include "overlay/overlay_network.h"
+
+namespace prism::overlay {
+
+Netns& OverlayNetwork::add_container(kernel::Host& host,
+                                     const std::string& name,
+                                     net::Ipv4Addr ip) {
+  Netns& ns = host.add_container(name, ip, vni_);
+  for (const auto& other : endpoints_) {
+    // Containers resolve each other directly (static ARP).
+    ns.add_neighbor(other.ns->ip(), other.ns->mac());
+    other.ns->add_neighbor(ip, ns.mac());
+    // Cross-host pairs need VTEP routes in both directions.
+    if (other.host != &host) {
+      host.add_overlay_route(vni_, other.ns->mac(), other.host->ip(),
+                             other.host->mac());
+      other.host->add_overlay_route(vni_, ns.mac(), host.ip(),
+                                    host.mac());
+    }
+  }
+  endpoints_.push_back(Endpoint{&host, &ns});
+  return ns;
+}
+
+}  // namespace prism::overlay

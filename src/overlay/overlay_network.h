@@ -1,0 +1,46 @@
+// Multi-host overlay network manager (the Docker-overlay control plane).
+//
+// Creating containers on an overlay involves bookkeeping on every
+// participating host: bridge + FDB entries for local containers, VTEP
+// routes for remote ones, and neighbour (ARP) entries inside every
+// container namespace. This class performs that wiring, playing the role
+// of Docker's distributed control plane in the paper's testbed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel/host.h"
+#include "net/ip.h"
+#include "overlay/netns.h"
+
+namespace prism::overlay {
+
+/// One VXLAN overlay network spanning any number of hosts.
+class OverlayNetwork {
+ public:
+  explicit OverlayNetwork(std::uint32_t vni) : vni_(vni) {}
+
+  std::uint32_t vni() const noexcept { return vni_; }
+
+  /// Creates a container on `host`, attached to this overlay, and wires
+  /// FDB/VTEP routes and neighbours across all existing containers.
+  Netns& add_container(kernel::Host& host, const std::string& name,
+                       net::Ipv4Addr ip);
+
+  std::size_t container_count() const noexcept {
+    return endpoints_.size();
+  }
+
+ private:
+  struct Endpoint {
+    kernel::Host* host;
+    Netns* ns;
+  };
+
+  std::uint32_t vni_;
+  std::vector<Endpoint> endpoints_;
+};
+
+}  // namespace prism::overlay

@@ -1,0 +1,56 @@
+#include "prism/priority_db.h"
+
+#include <algorithm>
+
+#include "net/headers.h"
+
+namespace prism::prism {
+
+void PriorityDb::add(net::Ipv4Addr ip, std::uint16_t port, int level) {
+  level = std::clamp(level, 1, kernel::kNumPriorityLevels - 1);
+  entries_[key(ip, port)] = level;
+}
+
+bool PriorityDb::remove(net::Ipv4Addr ip, std::uint16_t port) {
+  return entries_.erase(key(ip, port)) > 0;
+}
+
+bool PriorityDb::contains(net::Ipv4Addr ip, std::uint16_t port) const {
+  return entries_.contains(key(ip, port));
+}
+
+int PriorityDb::level_of(net::Ipv4Addr ip, std::uint16_t port) const {
+  const auto it = entries_.find(key(ip, port));
+  return it == entries_.end() ? 0 : it->second;
+}
+
+int PriorityDb::match(const net::ParsedFrame& frame) const {
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+  if (frame.udp) {
+    sport = frame.udp->src_port;
+    dport = frame.udp->dst_port;
+  } else if (frame.tcp) {
+    sport = frame.tcp->src_port;
+    dport = frame.tcp->dst_port;
+  }
+  return std::max(level_of(frame.ip.src, sport),
+                  level_of(frame.ip.dst, dport));
+}
+
+int PriorityDb::classify(std::span<const std::uint8_t> bytes) const {
+  if (entries_.empty()) return 0;
+  const auto outer = net::parse_frame(bytes);
+  if (!outer) return 0;
+  int level = match(*outer);
+  if (!outer->is_vxlan()) return level;
+  // Peek through the encapsulation at the inner frame.
+  if (outer->l4_payload.size() < net::VxlanHeader::kSize) return level;
+  if (!net::VxlanHeader::parse(outer->l4_payload)) return level;
+  const auto inner =
+      net::parse_frame(outer->l4_payload.subspan(net::VxlanHeader::kSize));
+  if (inner) level = std::max(level, match(*inner));
+  return level;
+}
+
+}  // namespace prism::prism

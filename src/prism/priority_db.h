@@ -1,0 +1,71 @@
+// PRISM's global high-priority flow database.
+//
+// The paper separates mechanism from policy (§IV-A): PRISM provides the
+// lookup, users decide which (IP, port) pairs are high priority and can
+// change the set at runtime. The database is consulted exactly once per
+// packet, when the skb is allocated in the physical driver (stage 1), and
+// the result is cached in the skb's priority field for all later stages.
+//
+// Entries carry a priority level (1..kNumPriorityLevels-1). The paper's
+// prototype is two-level (every entry level 1); multiple levels implement
+// its §VII-3 future work.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "kernel/napi.h"
+#include "net/ip.h"
+#include "net/packet.h"
+
+namespace prism::prism {
+
+/// Runtime-mutable map of (IP, port) endpoints to priority levels.
+class PriorityDb {
+ public:
+  /// Marks flows touching (ip, port) — as either source or destination —
+  /// with `level` (clamped to [1, kNumPriorityLevels-1]).
+  void add(net::Ipv4Addr ip, std::uint16_t port, int level = 1);
+
+  /// Removes one entry. Returns false if it was not present.
+  bool remove(net::Ipv4Addr ip, std::uint16_t port);
+
+  void clear() noexcept { entries_.clear(); }
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  bool contains(net::Ipv4Addr ip, std::uint16_t port) const;
+
+  /// Priority level of (ip, port); 0 if absent.
+  int level_of(net::Ipv4Addr ip, std::uint16_t port) const;
+
+  /// Highest level matched by either endpoint of the parsed headers
+  /// (0 = no match).
+  int match(const net::ParsedFrame& frame) const;
+
+  /// Full per-packet classification as performed at skb allocation:
+  /// checks the outer headers and, for VXLAN-encapsulated frames, the
+  /// inner headers (the kernel's flow dissector peeks through the
+  /// encapsulation the same way). Returns the priority level; malformed
+  /// frames are level 0.
+  int classify(std::span<const std::uint8_t> frame) const;
+
+ private:
+  struct Key {
+    std::uint64_t v;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return std::hash<std::uint64_t>{}(k.v);
+    }
+  };
+  static Key key(net::Ipv4Addr ip, std::uint16_t port) noexcept {
+    return Key{(std::uint64_t{ip.value} << 16) | port};
+  }
+
+  std::unordered_map<Key, int, KeyHash> entries_;
+};
+
+}  // namespace prism::prism

@@ -1,0 +1,90 @@
+#include "prism/proc_interface.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace prism::prism {
+
+namespace {
+
+constexpr std::string_view kPriorityPath = "prism/priority";
+constexpr std::string_view kModePath = "prism/mode";
+
+}  // namespace
+
+ProcInterface::ProcInterface(PriorityDb& db,
+                             std::function<void(kernel::NapiMode)> set_mode,
+                             std::function<kernel::NapiMode()> get_mode)
+    : db_(db), set_mode_(std::move(set_mode)),
+      get_mode_(std::move(get_mode)) {}
+
+bool ProcInterface::write(std::string_view path, std::string_view value) {
+  if (path == kModePath) {
+    if (value == "vanilla") {
+      set_mode_(kernel::NapiMode::kVanilla);
+    } else if (value == "batch") {
+      set_mode_(kernel::NapiMode::kPrismBatch);
+    } else if (value == "sync") {
+      set_mode_(kernel::NapiMode::kPrismSync);
+    } else if (value == "queues") {
+      set_mode_(kernel::NapiMode::kPrismQueues);
+    } else {
+      return false;
+    }
+    return true;
+  }
+  if (path == kPriorityPath) {
+    std::istringstream in{std::string(value)};
+    std::string op;
+    in >> op;
+    if (op == "clear") {
+      db_.clear();
+      return true;
+    }
+    std::string ip_text;
+    int port = -1;
+    in >> ip_text >> port;
+    if (in.fail() || port < 0 || port > 0xffff) return false;
+    net::Ipv4Addr ip;
+    try {
+      ip = net::Ipv4Addr::parse(ip_text);
+    } catch (const std::invalid_argument&) {
+      return false;
+    }
+    if (op == "add") {
+      int level = 1;  // optional trailing level; default matches paper
+      in >> level;
+      if (in.fail()) level = 1;
+      if (level < 1 || level >= kernel::kNumPriorityLevels) return false;
+      db_.add(ip, static_cast<std::uint16_t>(port), level);
+      return true;
+    }
+    if (op == "del") {
+      return db_.remove(ip, static_cast<std::uint16_t>(port));
+    }
+    return false;
+  }
+  return false;
+}
+
+std::string ProcInterface::read(std::string_view path) const {
+  if (path == kModePath) {
+    switch (get_mode_()) {
+      case kernel::NapiMode::kVanilla:
+        return "vanilla";
+      case kernel::NapiMode::kPrismBatch:
+        return "batch";
+      case kernel::NapiMode::kPrismSync:
+        return "sync";
+      case kernel::NapiMode::kPrismQueues:
+        return "queues";
+    }
+    return "";
+  }
+  if (path == kPriorityPath) {
+    return std::to_string(db_.size());
+  }
+  return "";
+}
+
+}  // namespace prism::prism

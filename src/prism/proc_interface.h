@@ -1,0 +1,50 @@
+// Runtime control interface, modelled on PRISM's procfs knobs.
+//
+// The real implementation exposes /proc files through which users add
+// high-priority (IP, port) pairs and select the operating mode at runtime
+// (paper §IV-A). This class emulates those files with string reads and
+// writes so that examples and tests exercise the same dynamic-control
+// surface.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "kernel/napi.h"
+#include "prism/priority_db.h"
+
+namespace prism::prism {
+
+/// String-command front end over a PriorityDb and a mode switch.
+///
+/// Supported "files":
+///   prism/priority — writes: "add <ip> <port> [level]",
+///                    "del <ip> <port>", "clear"; read returns the entry
+///                    count. The optional level (1..kNumPriorityLevels-1,
+///                    default 1) selects among the multiple priority
+///                    levels this implementation adds beyond the paper's
+///                    two.
+///   prism/mode     — writes: "vanilla", "batch", "sync", "queues";
+///                    read returns the current mode name.
+class ProcInterface {
+ public:
+  ProcInterface(PriorityDb& db,
+                std::function<void(kernel::NapiMode)> set_mode,
+                std::function<kernel::NapiMode()> get_mode);
+
+  /// Emulates `echo "<value>" > /proc/<path>`. Returns false on unknown
+  /// path or malformed value (a real write would return -EINVAL).
+  bool write(std::string_view path, std::string_view value);
+
+  /// Emulates reading /proc/<path>. Returns an empty string for unknown
+  /// paths.
+  std::string read(std::string_view path) const;
+
+ private:
+  PriorityDb& db_;
+  std::function<void(kernel::NapiMode)> set_mode_;
+  std::function<kernel::NapiMode()> get_mode_;
+};
+
+}  // namespace prism::prism

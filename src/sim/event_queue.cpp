@@ -1,0 +1,22 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace prism::sim {
+
+void EventQueue::push(Time at, EventFn fn) {
+  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+EventFn EventQueue::pop() {
+  EventFn fn = std::move(heap_.top().fn);
+  heap_.pop();
+  return fn;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+  next_seq_ = 0;
+}
+
+}  // namespace prism::sim

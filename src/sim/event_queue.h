@@ -1,0 +1,61 @@
+// Priority queue of timed events, the core of the discrete-event engine.
+//
+// Events at equal timestamps fire in insertion order (a monotonically
+// increasing sequence number breaks ties), which makes simulations fully
+// deterministic regardless of heap internals.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace prism::sim {
+
+/// Callback invoked when an event fires.
+using EventFn = std::function<void()>;
+
+/// Min-heap of (time, sequence) ordered events.
+class EventQueue {
+ public:
+  /// Adds an event firing at absolute time `at`. Events scheduled for the
+  /// same instant fire in the order they were pushed.
+  void push(Time at, EventFn fn);
+
+  /// True when no events remain.
+  bool empty() const noexcept { return heap_.empty(); }
+
+  /// Number of pending events.
+  std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Timestamp of the earliest pending event. Precondition: !empty().
+  Time next_time() const { return heap_.top().at; }
+
+  /// Removes and returns the earliest event's callback.
+  /// Precondition: !empty().
+  EventFn pop();
+
+  /// Discards all pending events.
+  void clear();
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    // Mutable so that pop() can move the callback out of the const
+    // reference returned by std::priority_queue::top().
+    mutable EventFn fn;
+
+    bool operator>(const Entry& other) const noexcept {
+      if (at != other.at) return at > other.at;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace prism::sim

@@ -1,0 +1,71 @@
+#include "sim/rng.h"
+
+#include <cmath>
+
+namespace prism::sim {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  // xoshiro requires a non-zero state; SplitMix64 never produces four zero
+  // outputs in a row, so this is safe for any seed including zero.
+  for (auto& s : state_) s = splitmix64(seed);
+}
+
+std::uint64_t Rng::next() noexcept {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Modulo bias is negligible for the ranges used in this codebase
+  // (range << 2^64), and determinism matters more than perfect uniformity.
+  return lo + static_cast<std::int64_t>(next() % range);
+}
+
+Duration Rng::exponential(Duration mean) noexcept {
+  // Inverse-CDF sampling; clamp the uniform away from 0 to avoid log(0).
+  const double u = 1.0 - uniform();
+  const double d = -static_cast<double>(mean) * std::log(u);
+  const auto n = static_cast<Duration>(d);
+  return n < 1 ? 1 : n;
+}
+
+bool Rng::chance(double probability) noexcept {
+  return uniform() < probability;
+}
+
+Rng Rng::split() noexcept { return Rng(next()); }
+
+}  // namespace prism::sim

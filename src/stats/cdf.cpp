@@ -1,0 +1,70 @@
+#include "stats/cdf.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "stats/histogram.h"
+
+namespace prism::stats {
+
+std::vector<CdfPoint> cdf_points(const Histogram& h) {
+  std::vector<CdfPoint> out;
+  const double total = static_cast<double>(h.count());
+  if (total == 0) return out;
+  std::uint64_t seen = 0;
+  h.for_each_bucket([&](std::int64_t value, std::uint64_t count) {
+    seen += count;
+    out.push_back({value, static_cast<double>(seen) / total});
+  });
+  return out;
+}
+
+std::vector<CdfPoint> cdf_quantiles(const Histogram& h, int n) {
+  if (n < 2) throw std::invalid_argument("cdf_quantiles: n must be >= 2");
+  std::vector<CdfPoint> out;
+  out.reserve(static_cast<std::size_t>(n) + 1);
+  for (int i = 0; i <= n; ++i) {
+    const double q = static_cast<double>(i) / n;
+    out.push_back({h.percentile(q), q});
+  }
+  return out;
+}
+
+std::string render_cdf_table(const std::vector<std::string>& labels,
+                             const std::vector<const Histogram*>& series,
+                             int quantile_rows) {
+  if (labels.size() != series.size()) {
+    throw std::invalid_argument("render_cdf_table: label/series mismatch");
+  }
+  std::string out = "quantile";
+  for (const auto& l : labels) {
+    out += "  ";
+    out += l;
+  }
+  out += "\n";
+  char buf[64];
+  for (int i = 0; i < quantile_rows; ++i) {
+    // Emphasize the tail: linear to p90, then p95/p99/p99.9 style steps.
+    double q;
+    if (i < quantile_rows - 3) {
+      q = 0.9 * i / (quantile_rows - 3);
+    } else if (i == quantile_rows - 3) {
+      q = 0.95;
+    } else if (i == quantile_rows - 2) {
+      q = 0.99;
+    } else {
+      q = 0.999;
+    }
+    std::snprintf(buf, sizeof(buf), "p%-7.1f", q * 100.0);
+    out += buf;
+    for (const auto* h : series) {
+      std::snprintf(buf, sizeof(buf), "  %10.1fus",
+                    static_cast<double>(h->percentile(q)) / 1e3);
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace prism::stats

@@ -1,0 +1,33 @@
+// Cumulative-distribution export for figure reproduction.
+//
+// Figures 3, 9 and 10 of the paper are latency CDFs. This helper turns a
+// histogram into (value, cumulative fraction) points and renders them as a
+// gnuplot-ready data block or a coarse ASCII plot for bench output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace prism::stats {
+
+class Histogram;
+
+struct CdfPoint {
+  std::int64_t value_ns;
+  double fraction;  // P(X <= value)
+};
+
+/// Full-resolution CDF (one point per non-empty bucket).
+std::vector<CdfPoint> cdf_points(const Histogram& h);
+
+/// CDF sampled at `n` evenly spaced quantiles (plus the 0th and 100th).
+std::vector<CdfPoint> cdf_quantiles(const Histogram& h, int n);
+
+/// Renders labelled CDFs side by side as rows of
+/// "quantile  <series0>us  <series1>us ..." for terminal output.
+std::string render_cdf_table(const std::vector<std::string>& labels,
+                             const std::vector<const Histogram*>& series,
+                             int quantile_rows = 11);
+
+}  // namespace prism::stats

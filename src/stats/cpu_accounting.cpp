@@ -1,0 +1,3 @@
+#include "stats/cpu_accounting.h"
+
+// Header-only logic; this translation unit anchors the target's source list.

@@ -1,0 +1,34 @@
+// Plain-text table rendering for benchmark output.
+//
+// Every bench binary prints the rows the corresponding paper figure
+// reports; this tiny formatter keeps those tables aligned and consistent.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace prism::stats {
+
+/// Column-aligned text table. Add a header once, then rows; render() pads
+/// every cell to the widest entry in its column.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds one row. Rows shorter than the header are padded with empty
+  /// cells; longer rows are rejected.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience for numeric cells.
+  static std::string cell(double value, int decimals = 1);
+
+  std::string render() const;
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace prism::stats

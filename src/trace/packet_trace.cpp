@@ -1,0 +1,49 @@
+#include "trace/packet_trace.h"
+
+#include <cstdio>
+
+namespace prism::trace {
+
+double PacketTrace::mean_interval_ns(
+    sim::Time kernel::SkbTimestamps::*from,
+    sim::Time kernel::SkbTimestamps::*to) const {
+  double sum = 0;
+  std::uint64_t n = 0;
+  for (const auto& e : entries_) {
+    const sim::Time a = e.ts.*from;
+    const sim::Time b = e.ts.*to;
+    if (a < 0 || b < 0) continue;
+    sum += static_cast<double>(b - a);
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+std::string PacketTrace::render_breakdown() const {
+  struct Hop {
+    const char* label;
+    sim::Time kernel::SkbTimestamps::*from;
+    sim::Time kernel::SkbTimestamps::*to;
+  };
+  static constexpr Hop kHops[] = {
+      {"nic ring -> stage1 (eth) done", &kernel::SkbTimestamps::nic_rx,
+       &kernel::SkbTimestamps::stage1_done},
+      {"stage1 -> stage2 (br) done", &kernel::SkbTimestamps::stage1_done,
+       &kernel::SkbTimestamps::stage2_done},
+      {"stage2 -> stage3 (veth) done", &kernel::SkbTimestamps::stage2_done,
+       &kernel::SkbTimestamps::stage3_done},
+      {"nic ring -> socket", &kernel::SkbTimestamps::nic_rx,
+       &kernel::SkbTimestamps::socket_enqueue},
+  };
+  std::string out = "per-stage latency breakdown (mean):\n";
+  char buf[128];
+  for (const auto& hop : kHops) {
+    const double v = mean_interval_ns(hop.from, hop.to);
+    std::snprintf(buf, sizeof(buf), "  %-32s %10.2f us\n", hop.label,
+                  v / 1e3);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace prism::trace

@@ -1,0 +1,47 @@
+// Per-packet life-cycle tracing.
+//
+// Collects the pipeline timestamps every delivered skb carries, enabling
+// the per-stage latency breakdowns behind the paper's analysis (where does
+// a packet spend its time: NIC ring, stage queues, socket).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernel/skb.h"
+#include "sim/time.h"
+
+namespace prism::trace {
+
+/// Accumulates delivered-packet records; attach to a SocketDeliverer.
+class PacketTrace {
+ public:
+  struct Entry {
+    kernel::SkbTimestamps ts;
+    sim::Time delivered = 0;
+    bool high_priority = false;
+    int segments = 1;
+  };
+
+  void on_delivered(const kernel::Skb& skb, sim::Time at) {
+    entries_.push_back(
+        Entry{skb.ts, at, skb.high_priority(), skb.segments});
+  }
+
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+  void clear() noexcept { entries_.clear(); }
+
+  /// Mean time spent between two pipeline points across all entries that
+  /// traversed both (e.g. nic_rx -> stage1_done). Returns 0 when none.
+  double mean_interval_ns(sim::Time kernel::SkbTimestamps::*from,
+                          sim::Time kernel::SkbTimestamps::*to) const;
+
+  /// Renders a per-stage latency breakdown table (mean ns per hop).
+  std::string render_breakdown() const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace prism::trace

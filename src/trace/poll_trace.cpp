@@ -1,0 +1,38 @@
+#include "trace/poll_trace.h"
+
+#include <cstdio>
+
+namespace prism::trace {
+
+void PollTrace::on_poll(sim::Time at, const std::string& device,
+                        std::vector<std::string> poll_list, int packets) {
+  records_.push_back(PollRecord{records_.size() + 1, at, device,
+                                std::move(poll_list), packets});
+}
+
+std::vector<std::string> PollTrace::device_order() const {
+  std::vector<std::string> out;
+  out.reserve(records_.size());
+  for (const auto& r : records_) out.push_back(r.device);
+  return out;
+}
+
+std::string PollTrace::render(std::size_t max_rows) const {
+  std::string out = "Iter.  Device  Poll list\n";
+  char buf[32];
+  for (const auto& r : records_) {
+    if (r.iteration > max_rows) break;
+    std::snprintf(buf, sizeof(buf), "%-5llu  %-6s  [",
+                  static_cast<unsigned long long>(r.iteration),
+                  r.device.c_str());
+    out += buf;
+    for (std::size_t i = 0; i < r.poll_list.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += r.poll_list[i];
+    }
+    out += "]\n";
+  }
+  return out;
+}
+
+}  // namespace prism::trace

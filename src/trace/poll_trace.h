@@ -1,0 +1,49 @@
+// NAPI poll-order tracing.
+//
+// The paper traced the kernel's NAPI device polling order with eBPF to
+// expose the interleaved processing of vanilla NAPI (Fig. 6a) versus
+// PRISM's streamlined order (Fig. 6b). This collector plays the same role
+// for the simulated engine: every poll iteration records which device was
+// polled and a snapshot of the poll list afterwards.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace prism::trace {
+
+/// One net_rx_action loop iteration.
+struct PollRecord {
+  std::uint64_t iteration = 0;       ///< global iteration counter
+  sim::Time at = 0;                  ///< simulated time of the poll
+  std::string device;                ///< device polled in this iteration
+  std::vector<std::string> poll_list;  ///< list contents after requeue
+  int packets = 0;                   ///< packets processed by this poll
+};
+
+/// Accumulates poll records; attach to a NetRxEngine with set_poll_trace.
+class PollTrace {
+ public:
+  void on_poll(sim::Time at, const std::string& device,
+               std::vector<std::string> poll_list, int packets);
+
+  const std::vector<PollRecord>& records() const noexcept {
+    return records_;
+  }
+
+  /// Device names in poll order, e.g. {"eth", "br", "eth", "veth", ...}.
+  std::vector<std::string> device_order() const;
+
+  /// Renders records in the format of the paper's Fig. 6 table.
+  std::string render(std::size_t max_rows = 32) const;
+
+  void clear() noexcept { records_.clear(); }
+
+ private:
+  std::vector<PollRecord> records_;
+};
+
+}  // namespace prism::trace

@@ -1,0 +1,87 @@
+#include "apps/payload.h"
+
+#include <gtest/gtest.h>
+
+namespace prism::apps {
+namespace {
+
+TEST(ProbeTest, RoundTrip) {
+  Probe p{0x123456789abcdef0ULL, 987654321, true};
+  const auto bytes = encode_probe(p, 64);
+  EXPECT_EQ(bytes.size(), 64u);
+  const auto decoded = decode_probe(bytes);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->seq, p.seq);
+  EXPECT_EQ(decoded->sent_at, p.sent_at);
+  EXPECT_TRUE(decoded->reply);
+}
+
+TEST(ProbeTest, NoReplyFlag) {
+  const auto bytes = encode_probe(Probe{1, 2, false}, kProbeSize);
+  EXPECT_FALSE(decode_probe(bytes)->reply);
+}
+
+TEST(ProbeTest, TooSmallPayloadRejected) {
+  EXPECT_THROW(encode_probe(Probe{}, kProbeSize - 1),
+               std::invalid_argument);
+}
+
+TEST(ProbeTest, ShortBufferDecodesToNull) {
+  std::vector<std::uint8_t> short_buf(kProbeSize - 1, 0);
+  EXPECT_FALSE(decode_probe(short_buf).has_value());
+}
+
+TEST(FramerTest, SingleMessageRoundTrip) {
+  MessageFramer framer;
+  const std::vector<std::uint8_t> body = {1, 2, 3, 4, 5};
+  framer.push(MessageFramer::frame(body));
+  const auto msg = framer.next();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(*msg, body);
+  EXPECT_FALSE(framer.next().has_value());
+}
+
+TEST(FramerTest, HandlesFragmentedDelivery) {
+  MessageFramer framer;
+  const std::vector<std::uint8_t> body(1000, 0x7a);
+  const auto framed = MessageFramer::frame(body);
+  // Feed one byte at a time.
+  for (std::size_t i = 0; i < framed.size(); ++i) {
+    framer.push(std::span(&framed[i], 1));
+    if (i + 1 < framed.size()) {
+      EXPECT_FALSE(framer.next().has_value());
+    }
+  }
+  const auto msg = framer.next();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(*msg, body);
+}
+
+TEST(FramerTest, HandlesCoalescedMessages) {
+  MessageFramer framer;
+  std::vector<std::uint8_t> stream;
+  for (int i = 1; i <= 3; ++i) {
+    const std::vector<std::uint8_t> body(static_cast<std::size_t>(i * 10),
+                                         static_cast<std::uint8_t>(i));
+    const auto framed = MessageFramer::frame(body);
+    stream.insert(stream.end(), framed.begin(), framed.end());
+  }
+  framer.push(stream);
+  for (int i = 1; i <= 3; ++i) {
+    const auto msg = framer.next();
+    ASSERT_TRUE(msg.has_value());
+    EXPECT_EQ(msg->size(), static_cast<std::size_t>(i * 10));
+  }
+  EXPECT_FALSE(framer.next().has_value());
+}
+
+TEST(FramerTest, EmptyMessageSupported) {
+  MessageFramer framer;
+  framer.push(MessageFramer::frame({}));
+  const auto msg = framer.next();
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_TRUE(msg->empty());
+}
+
+}  // namespace
+}  // namespace prism::apps

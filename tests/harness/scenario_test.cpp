@@ -1,0 +1,169 @@
+// Qualitative reproduction tests: the paper's headline claims must hold
+// in the simulated testbed. Short measurement windows keep these fast;
+// the bench binaries run the full-length versions.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+
+namespace prism::harness {
+namespace {
+
+PriorityScenarioConfig quick_priority(kernel::NapiMode mode, bool busy,
+                                      bool overlay = true) {
+  PriorityScenarioConfig cfg;
+  cfg.mode = mode;
+  cfg.busy = busy;
+  cfg.overlay = overlay;
+  cfg.duration = sim::milliseconds(150);
+  return cfg;
+}
+
+TEST(ScenarioTest, BackgroundTrafficInflatesVanillaLatency) {
+  // Paper Fig. 3: a loaded server increases median and tail latency
+  // multiple-fold.
+  const auto idle =
+      run_priority_scenario(quick_priority(kernel::NapiMode::kVanilla,
+                                           false));
+  const auto busy =
+      run_priority_scenario(quick_priority(kernel::NapiMode::kVanilla,
+                                           true));
+  EXPECT_GT(busy.latency.percentile(0.5),
+            idle.latency.percentile(0.5) * 2);
+  EXPECT_GT(busy.latency.percentile(0.99),
+            idle.latency.percentile(0.99) * 3);
+}
+
+TEST(ScenarioTest, BackgroundLoadConsumesMajorShareOfRxCore) {
+  // Paper §V-A: 300 Kpps of background occupies roughly 60-70% of the
+  // packet-processing core (we accept a slightly wider band).
+  const auto busy =
+      run_priority_scenario(quick_priority(kernel::NapiMode::kVanilla,
+                                           true));
+  EXPECT_GT(busy.rx_cpu_utilization, 0.55);
+  EXPECT_LT(busy.rx_cpu_utilization, 0.92);
+}
+
+TEST(ScenarioTest, PrismSyncCutsBusyOverlayLatency) {
+  // Paper Fig. 9: PRISM-sync cuts average latency of high-priority flows
+  // substantially under background load.
+  const auto vanilla =
+      run_priority_scenario(quick_priority(kernel::NapiMode::kVanilla,
+                                           true));
+  const auto sync =
+      run_priority_scenario(quick_priority(kernel::NapiMode::kPrismSync,
+                                           true));
+  EXPECT_LT(sync.latency.mean(), vanilla.latency.mean() * 0.75);
+  EXPECT_LT(sync.latency.percentile(0.99),
+            vanilla.latency.percentile(0.99));
+}
+
+TEST(ScenarioTest, PrismBatchSitsBetweenVanillaAndSync) {
+  const auto vanilla =
+      run_priority_scenario(quick_priority(kernel::NapiMode::kVanilla,
+                                           true));
+  const auto batch =
+      run_priority_scenario(quick_priority(kernel::NapiMode::kPrismBatch,
+                                           true));
+  const auto sync =
+      run_priority_scenario(quick_priority(kernel::NapiMode::kPrismSync,
+                                           true));
+  EXPECT_LT(batch.latency.mean(), vanilla.latency.mean());
+  EXPECT_GT(batch.latency.mean(), sync.latency.mean() * 0.95);
+}
+
+TEST(ScenarioTest, HostPathShowsNoPrismBenefit) {
+  // Paper Fig. 10: the single-stage host pipeline gives PRISM nothing to
+  // preempt; vanilla and PRISM must be within noise of each other.
+  const auto vanilla = run_priority_scenario(
+      quick_priority(kernel::NapiMode::kVanilla, true, /*overlay=*/false));
+  const auto sync = run_priority_scenario(
+      quick_priority(kernel::NapiMode::kPrismSync, true,
+                     /*overlay=*/false));
+  const double ratio = sync.latency.mean() / vanilla.latency.mean();
+  EXPECT_GT(ratio, 0.85);
+  EXPECT_LT(ratio, 1.15);
+}
+
+TEST(ScenarioTest, ProbesAreAnsweredReliably) {
+  for (const auto mode :
+       {kernel::NapiMode::kVanilla, kernel::NapiMode::kPrismBatch,
+        kernel::NapiMode::kPrismSync}) {
+    const auto res = run_priority_scenario(quick_priority(mode, true));
+    EXPECT_GT(res.probes_sent, 100u);
+    // Allow a few stragglers beyond the drain window.
+    EXPECT_GE(res.replies + 5, res.probes_sent);
+  }
+}
+
+TEST(ScenarioTest, StreamlinedThroughputTradeoff) {
+  // Paper Fig. 8: vanilla sustains ~400 Kpps per core, PRISM-sync only
+  // ~300 Kpps (no batch amortization).
+  StreamlinedScenarioConfig cfg;
+  cfg.rate_pps = 450'000;
+  cfg.duration = sim::milliseconds(150);
+  cfg.mode = kernel::NapiMode::kVanilla;
+  const auto vanilla = run_streamlined_scenario(cfg);
+  cfg.mode = kernel::NapiMode::kPrismSync;
+  const auto sync = run_streamlined_scenario(cfg);
+  EXPECT_GT(vanilla.delivered_pps, 350'000);
+  EXPECT_LT(sync.delivered_pps, 330'000);
+  EXPECT_GT(sync.delivered_pps, 250'000);
+}
+
+TEST(ScenarioTest, StreamlinedLatencyOrdering) {
+  StreamlinedScenarioConfig cfg;
+  cfg.rate_pps = 300'000;
+  cfg.duration = sim::milliseconds(150);
+  cfg.mode = kernel::NapiMode::kVanilla;
+  const auto vanilla = run_streamlined_scenario(cfg);
+  cfg.mode = kernel::NapiMode::kPrismSync;
+  const auto sync = run_streamlined_scenario(cfg);
+  EXPECT_LT(sync.latency.mean(), vanilla.latency.mean());
+}
+
+TEST(ScenarioTest, MemcachedBusyTanksAndPrismRecovers) {
+  // Paper Fig. 12.
+  MemcachedScenarioConfig cfg;
+  cfg.duration = sim::milliseconds(150);
+  cfg.mode = kernel::NapiMode::kVanilla;
+  cfg.busy = false;
+  const auto idle = run_memcached_scenario(cfg);
+  cfg.busy = true;
+  const auto busy_vanilla = run_memcached_scenario(cfg);
+  cfg.mode = kernel::NapiMode::kPrismSync;
+  const auto busy_sync = run_memcached_scenario(cfg);
+
+  EXPECT_LT(busy_vanilla.ops_per_second, idle.ops_per_second * 0.75);
+  EXPECT_GT(busy_sync.ops_per_second,
+            busy_vanilla.ops_per_second * 1.15);
+  EXPECT_LT(busy_sync.latency.mean(), busy_vanilla.latency.mean());
+}
+
+TEST(ScenarioTest, WebPrismImprovesBusyLatency) {
+  // Paper Fig. 13.
+  WebScenarioConfig cfg;
+  cfg.duration = sim::milliseconds(150);
+  cfg.mode = kernel::NapiMode::kVanilla;
+  const auto vanilla = run_web_scenario(cfg);
+  cfg.mode = kernel::NapiMode::kPrismSync;
+  const auto sync = run_web_scenario(cfg);
+  EXPECT_LT(sync.latency.mean(), vanilla.latency.mean());
+  EXPECT_EQ(sync.completed, sync.sent);
+  EXPECT_GT(vanilla.bg_bytes_received, 10'000'000u);
+}
+
+TEST(ScenarioTest, ResultsAreDeterministic) {
+  const auto a =
+      run_priority_scenario(quick_priority(kernel::NapiMode::kPrismBatch,
+                                           true));
+  const auto b =
+      run_priority_scenario(quick_priority(kernel::NapiMode::kPrismBatch,
+                                           true));
+  EXPECT_EQ(a.latency.percentile(0.5), b.latency.percentile(0.5));
+  EXPECT_EQ(a.latency.percentile(0.99), b.latency.percentile(0.99));
+  EXPECT_EQ(a.bg_sent, b.bg_sent);
+  EXPECT_DOUBLE_EQ(a.rx_cpu_utilization, b.rx_cpu_utilization);
+}
+
+}  // namespace
+}  // namespace prism::harness

@@ -1,0 +1,130 @@
+#include "kernel/napi.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kernel/skb.h"
+
+namespace prism::kernel {
+namespace {
+
+// Minimal stage recording what it processed.
+class RecordingStage final : public PacketStage {
+ public:
+  explicit RecordingStage(sim::Duration per_packet)
+      : per_packet_(per_packet) {}
+
+  sim::Duration process_one(SkbPtr skb, sim::Time at,
+                            double cost_multiplier) override {
+    seen.push_back({at, skb->high_priority()});
+    return static_cast<sim::Duration>(
+        static_cast<double>(per_packet_) * cost_multiplier);
+  }
+
+  const std::string& name() const override { return name_; }
+
+  struct Seen {
+    sim::Time at;
+    bool high;
+  };
+  std::vector<Seen> seen;
+
+ private:
+  sim::Duration per_packet_;
+  std::string name_ = "recorder";
+};
+
+SkbPtr make_skb(bool high) {
+  auto skb = std::make_unique<Skb>();
+  skb->priority = high ? 1 : 0;
+  return skb;
+}
+
+TEST(QueueNapiTest, ProcessesLowQueueWhenHighEmpty) {
+  CostModel cost;
+  RecordingStage stage(100);
+  QueueNapi napi("q", stage, cost);
+  for (int i = 0; i < 10; ++i) napi.low_queue.push_back(make_skb(false));
+  const auto out = napi.poll(64, 0);
+  EXPECT_EQ(out.processed, 10);
+  EXPECT_FALSE(out.has_more);
+  EXPECT_EQ(stage.seen.size(), 10u);
+}
+
+TEST(QueueNapiTest, HighQueueTakesPrecedence) {
+  CostModel cost;
+  RecordingStage stage(100);
+  QueueNapi napi("q", stage, cost);
+  for (int i = 0; i < 5; ++i) napi.low_queue.push_back(make_skb(false));
+  for (int i = 0; i < 3; ++i) napi.high_queue.push_back(make_skb(true));
+  const auto out = napi.poll(64, 0);
+  // Fig. 7: only the high batch is processed in this poll.
+  EXPECT_EQ(out.processed, 3);
+  EXPECT_TRUE(out.has_more);
+  for (const auto& s : stage.seen) EXPECT_TRUE(s.high);
+  EXPECT_EQ(napi.low_queue.size(), 5u);
+  EXPECT_TRUE(napi.high_queue.empty());
+}
+
+TEST(QueueNapiTest, BatchLimitRespected) {
+  CostModel cost;
+  RecordingStage stage(100);
+  QueueNapi napi("q", stage, cost);
+  for (int i = 0; i < 100; ++i) napi.low_queue.push_back(make_skb(false));
+  const auto out = napi.poll(64, 0);
+  EXPECT_EQ(out.processed, 64);
+  EXPECT_TRUE(out.has_more);
+  EXPECT_EQ(napi.low_queue.size(), 36u);
+}
+
+TEST(QueueNapiTest, CostIncludesPollOverheadAndPerPacket) {
+  CostModel cost;
+  cost.napi_poll_overhead = sim::microseconds(8);
+  cost.cache_pressure = 0.0;  // exact-cost assertions below
+  RecordingStage stage(100);
+  QueueNapi napi("q", stage, cost);
+  for (int i = 0; i < 4; ++i) napi.low_queue.push_back(make_skb(false));
+  const auto out = napi.poll(64, 0);
+  EXPECT_EQ(out.cost, sim::microseconds(8) + 400);
+}
+
+TEST(QueueNapiTest, PacketTimestampsAdvanceWithinBatch) {
+  CostModel cost;
+  cost.napi_poll_overhead = 1000;
+  cost.cache_pressure = 0.0;  // exact-timestamp assertions below
+  RecordingStage stage(100);
+  QueueNapi napi("q", stage, cost);
+  for (int i = 0; i < 3; ++i) napi.low_queue.push_back(make_skb(false));
+  napi.poll(64, 50'000);
+  ASSERT_EQ(stage.seen.size(), 3u);
+  EXPECT_EQ(stage.seen[0].at, 51'000);
+  EXPECT_EQ(stage.seen[1].at, 51'100);
+  EXPECT_EQ(stage.seen[2].at, 51'200);
+}
+
+TEST(QueueNapiTest, EmptyPollCostsOnlyOverhead) {
+  CostModel cost;
+  RecordingStage stage(100);
+  QueueNapi napi("q", stage, cost);
+  const auto out = napi.poll(64, 0);
+  EXPECT_EQ(out.processed, 0);
+  EXPECT_EQ(out.cost, cost.napi_poll_overhead);
+  EXPECT_FALSE(out.has_more);
+}
+
+TEST(QueueNapiTest, PendingProbes) {
+  CostModel cost;
+  RecordingStage stage(100);
+  QueueNapi napi("q", stage, cost);
+  EXPECT_FALSE(napi.has_pending());
+  EXPECT_FALSE(napi.has_high_pending());
+  napi.low_queue.push_back(make_skb(false));
+  EXPECT_TRUE(napi.has_pending());
+  EXPECT_FALSE(napi.has_high_pending());
+  napi.high_queue.push_back(make_skb(true));
+  EXPECT_TRUE(napi.has_high_pending());
+}
+
+}  // namespace
+}  // namespace prism::kernel

@@ -1,0 +1,71 @@
+#include "kernel/stage_transition.h"
+
+#include <gtest/gtest.h>
+
+#include "test_pipeline.h"
+
+namespace prism::kernel {
+namespace {
+
+using testing::Pipeline;
+
+SkbPtr make_skb(bool high) {
+  auto skb = std::make_unique<Skb>();
+  skb->priority = high ? 1 : 0;
+  return skb;
+}
+
+TEST(StageTransitionTest, VanillaEnqueuesLowRegardlessOfPriority) {
+  Pipeline p(NapiMode::kVanilla);
+  const auto inline_cost =
+      p.transition.transit(make_skb(true), 0, p.veth);
+  EXPECT_EQ(inline_cost, 0);
+  EXPECT_EQ(p.veth.low_queue.size(), 1u);
+  EXPECT_TRUE(p.veth.high_queue.empty());
+  EXPECT_TRUE(p.veth.scheduled);
+}
+
+TEST(StageTransitionTest, PrismBatchRoutesByPriority) {
+  Pipeline p(NapiMode::kPrismBatch);
+  p.transition.transit(make_skb(false), 0, p.veth);
+  p.transition.transit(make_skb(true), 0, p.veth);
+  EXPECT_EQ(p.veth.low_queue.size(), 1u);
+  EXPECT_EQ(p.veth.high_queue.size(), 1u);
+}
+
+TEST(StageTransitionTest, PrismSyncHighRunsInline) {
+  Pipeline p(NapiMode::kPrismSync);
+  const auto inline_cost =
+      p.transition.transit(make_skb(true), 1000, p.veth);
+  // veth stage per-packet cost plus the sync hop.
+  EXPECT_EQ(inline_cost,
+            p.cost.sync_transition + p.cost.backlog_stage_per_packet);
+  EXPECT_TRUE(p.veth.low_queue.empty());
+  EXPECT_TRUE(p.veth.high_queue.empty());
+  EXPECT_FALSE(p.veth.scheduled);
+  ASSERT_EQ(p.deliveries.size(), 1u);
+  EXPECT_EQ(p.deliveries[0].at, 1000 + p.cost.sync_transition +
+                                    p.cost.backlog_stage_per_packet);
+}
+
+TEST(StageTransitionTest, PrismSyncLowStillQueues) {
+  Pipeline p(NapiMode::kPrismSync);
+  const auto inline_cost =
+      p.transition.transit(make_skb(false), 0, p.veth);
+  EXPECT_EQ(inline_cost, 0);
+  EXPECT_EQ(p.veth.low_queue.size(), 1u);
+  EXPECT_TRUE(p.deliveries.empty());
+}
+
+TEST(StageTransitionTest, PrismSyncChainsThroughMultipleStages) {
+  // A high packet entering br in sync mode runs br AND veth inline.
+  Pipeline p(NapiMode::kPrismSync);
+  const auto inline_cost = p.transition.transit(make_skb(true), 0, p.br);
+  EXPECT_EQ(inline_cost,
+            2 * p.cost.sync_transition + p.cost.bridge_stage_per_packet +
+                p.cost.backlog_stage_per_packet);
+  EXPECT_EQ(p.deliveries.size(), 1u);
+}
+
+}  // namespace
+}  // namespace prism::kernel

@@ -1,0 +1,27 @@
+// Test adapter over the library's synthetic pipeline: the classic
+// three-stage overlay shape ({eth, br, veth}) with convenient member
+// names for the engine tests.
+#pragma once
+
+#include "harness/synthetic_pipeline.h"
+
+namespace prism::kernel::testing {
+
+using Delivery = harness::SyntheticDelivery;
+using SourceNapi = harness::SyntheticSource;
+
+struct Pipeline : harness::SyntheticPipeline {
+  explicit Pipeline(NapiMode mode, CostModel cost_model = CostModel{})
+      : harness::SyntheticPipeline(mode, /*stages=*/3, cost_model),
+        br(stage_napi(0)),
+        veth(stage_napi(1)),
+        eth(*source),
+        eth_high(*source_high) {}
+
+  QueueNapi& br;
+  QueueNapi& veth;
+  SourceNapi& eth;
+  SourceNapi& eth_high;
+};
+
+}  // namespace prism::kernel::testing

@@ -1,0 +1,175 @@
+// Property tests over the wire-format codecs: randomized frames must
+// round-trip bit-exactly through build -> parse, survive VXLAN
+// encapsulation/decapsulation, and always verify their checksums.
+#include <gtest/gtest.h>
+
+#include "net/flow.h"
+#include "net/packet.h"
+#include "sim/rng.h"
+
+namespace prism::net {
+namespace {
+
+class CodecProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+FrameSpec random_spec(sim::Rng& rng) {
+  FrameSpec spec;
+  spec.src_mac = MacAddr::make(static_cast<std::uint32_t>(rng.next()));
+  spec.dst_mac = MacAddr::make(static_cast<std::uint32_t>(rng.next()));
+  spec.src_ip = Ipv4Addr{static_cast<std::uint32_t>(rng.next())};
+  spec.dst_ip = Ipv4Addr{static_cast<std::uint32_t>(rng.next())};
+  spec.src_port = static_cast<std::uint16_t>(rng.uniform_int(1, 65535));
+  spec.dst_port = static_cast<std::uint16_t>(rng.uniform_int(1, 65535));
+  spec.dscp = static_cast<std::uint8_t>(rng.uniform_int(0, 63));
+  return spec;
+}
+
+std::vector<std::uint8_t> random_payload(sim::Rng& rng, std::size_t max) {
+  std::vector<std::uint8_t> p(
+      static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(max))));
+  for (auto& byte : p) byte = static_cast<std::uint8_t>(rng.next());
+  return p;
+}
+
+TEST_P(CodecProperty, UdpFramesRoundTrip) {
+  sim::Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const auto spec = random_spec(rng);
+    const auto payload = random_payload(rng, 1400);
+    const auto frame = build_udp_frame(spec, payload);
+    const auto parsed = parse_frame(frame.bytes());
+    ASSERT_TRUE(parsed.has_value()) << i;
+    EXPECT_EQ(parsed->eth.src, spec.src_mac);
+    EXPECT_EQ(parsed->eth.dst, spec.dst_mac);
+    EXPECT_EQ(parsed->ip.src, spec.src_ip);
+    EXPECT_EQ(parsed->ip.dst, spec.dst_ip);
+    EXPECT_EQ(parsed->ip.dscp, spec.dscp);
+    ASSERT_TRUE(parsed->udp.has_value());
+    EXPECT_EQ(parsed->udp->src_port, spec.src_port);
+    EXPECT_EQ(parsed->udp->dst_port, spec.dst_port);
+    EXPECT_TRUE(std::equal(payload.begin(), payload.end(),
+                           parsed->l4_payload.begin(),
+                           parsed->l4_payload.end()));
+    const auto datagram = frame.bytes().subspan(
+        EthernetHeader::kSize + Ipv4Header::kSize);
+    EXPECT_TRUE(
+        UdpHeader::verify_checksum(datagram.first(parsed->udp->length),
+                                   spec.src_ip, spec.dst_ip));
+  }
+}
+
+TEST_P(CodecProperty, TcpFramesRoundTrip) {
+  sim::Rng rng(GetParam() ^ 0xabcdef);
+  for (int i = 0; i < 200; ++i) {
+    const auto spec = random_spec(rng);
+    const auto payload = random_payload(rng, 1400);
+    TcpHeader tcp;
+    tcp.seq = static_cast<std::uint32_t>(rng.next());
+    tcp.ack = static_cast<std::uint32_t>(rng.next());
+    tcp.flags = static_cast<std::uint8_t>(rng.uniform_int(0, 0x3f));
+    tcp.window = static_cast<std::uint16_t>(rng.uniform_int(0, 0xffff));
+    const auto frame = build_tcp_frame(spec, tcp, payload);
+    const auto parsed = parse_frame(frame.bytes());
+    ASSERT_TRUE(parsed.has_value()) << i;
+    ASSERT_TRUE(parsed->tcp.has_value());
+    EXPECT_EQ(parsed->tcp->seq, tcp.seq);
+    EXPECT_EQ(parsed->tcp->ack, tcp.ack);
+    EXPECT_EQ(parsed->tcp->flags, tcp.flags);
+    EXPECT_EQ(parsed->tcp->window, tcp.window);
+    const auto segment = frame.bytes().subspan(
+        EthernetHeader::kSize + Ipv4Header::kSize);
+    EXPECT_TRUE(
+        TcpHeader::verify_checksum(segment, spec.src_ip, spec.dst_ip));
+  }
+}
+
+TEST_P(CodecProperty, VxlanEncapDecapIsIdentity) {
+  sim::Rng rng(GetParam() * 31 + 7);
+  for (int i = 0; i < 100; ++i) {
+    const auto inner_spec = random_spec(rng);
+    const auto payload = random_payload(rng, 1300);
+    auto frame = build_udp_frame(inner_spec, payload);
+    const std::vector<std::uint8_t> inner_before(frame.bytes().begin(),
+                                                 frame.bytes().end());
+    const auto outer_spec = random_spec(rng);
+    const auto vni =
+        static_cast<std::uint32_t>(rng.uniform_int(0, 0xffffff));
+    vxlan_encapsulate(frame, outer_spec, vni);
+
+    const auto outer = parse_frame(frame.bytes());
+    ASSERT_TRUE(outer.has_value());
+    ASSERT_TRUE(outer->is_vxlan());
+    const auto vx = VxlanHeader::parse(outer->l4_payload);
+    ASSERT_TRUE(vx.has_value());
+    EXPECT_EQ(vx->vni, vni);
+
+    frame.pop_front(outer->l4_payload_offset + VxlanHeader::kSize);
+    EXPECT_EQ(std::vector<std::uint8_t>(frame.bytes().begin(),
+                                        frame.bytes().end()),
+              inner_before);
+  }
+}
+
+TEST_P(CodecProperty, FlowExtractionIsSymmetric) {
+  sim::Rng rng(GetParam() + 1000);
+  for (int i = 0; i < 100; ++i) {
+    const auto spec = random_spec(rng);
+    const std::uint8_t payload[1] = {0};
+    const auto fwd = build_udp_frame(spec, payload);
+    FrameSpec back = spec;
+    std::swap(back.src_mac, back.dst_mac);
+    std::swap(back.src_ip, back.dst_ip);
+    std::swap(back.src_port, back.dst_port);
+    const auto rev = build_udp_frame(back, payload);
+    const auto f1 = flow_of(*parse_frame(fwd.bytes()));
+    const auto f2 = flow_of(*parse_frame(rev.bytes()));
+    EXPECT_EQ(f1.reversed(), f2);
+    EXPECT_EQ(f2.reversed(), f1);
+  }
+}
+
+TEST_P(CodecProperty, CorruptionIsAlwaysDetected) {
+  // Flip one random bit in the IP header region of a valid frame: either
+  // the parse fails (checksum) or, if the flip hit the payload or L4
+  // region, the L4 checksum catches it.
+  sim::Rng rng(GetParam() + 31337);
+  int rejected = 0;
+  const int kTrials = 200;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto spec = random_spec(rng);
+    const auto payload = random_payload(rng, 200);
+    const auto frame = build_udp_frame(spec, payload);
+    std::vector<std::uint8_t> bytes(frame.bytes().begin(),
+                                    frame.bytes().end());
+    // Corrupt within the IP header (offset 14..33).
+    const auto at = static_cast<std::size_t>(rng.uniform_int(14, 33));
+    bytes[at] ^= static_cast<std::uint8_t>(
+        1u << rng.uniform_int(0, 7));
+    const auto parsed = parse_frame(bytes);
+    if (!parsed) {
+      ++rejected;
+      continue;
+    }
+    // Total-length or version changes can still parse; the UDP checksum
+    // over the pseudo-header must then fail.
+    if (parsed->udp) {
+      const auto datagram =
+          std::span<const std::uint8_t>(bytes).subspan(
+              EthernetHeader::kSize + Ipv4Header::kSize);
+      if (!UdpHeader::verify_checksum(
+              datagram.first(std::min<std::size_t>(datagram.size(),
+                                                   parsed->udp->length)),
+              parsed->ip.src, parsed->ip.dst)) {
+        ++rejected;
+      }
+    }
+  }
+  // Every single-bit IP-header corruption must be detected somewhere.
+  EXPECT_EQ(rejected, kTrials);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecProperty,
+                         ::testing::Values(1u, 17u, 2026u));
+
+}  // namespace
+}  // namespace prism::net

@@ -1,0 +1,58 @@
+#include "net/flow.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "net/packet.h"
+
+namespace prism::net {
+namespace {
+
+TEST(FlowTest, ReversedSwapsEndpoints) {
+  FiveTuple f{Ipv4Addr::of(1, 1, 1, 1), Ipv4Addr::of(2, 2, 2, 2), 100, 200,
+              IpProto::kTcp};
+  const auto r = f.reversed();
+  EXPECT_EQ(r.src_ip, f.dst_ip);
+  EXPECT_EQ(r.dst_ip, f.src_ip);
+  EXPECT_EQ(r.src_port, f.dst_port);
+  EXPECT_EQ(r.dst_port, f.src_port);
+  EXPECT_EQ(r.protocol, f.protocol);
+  EXPECT_EQ(r.reversed(), f);
+}
+
+TEST(FlowTest, ExtractedFromUdpFrame) {
+  FrameSpec spec;
+  spec.src_mac = MacAddr::make(1);
+  spec.dst_mac = MacAddr::make(2);
+  spec.src_ip = Ipv4Addr::of(10, 0, 0, 1);
+  spec.dst_ip = Ipv4Addr::of(10, 0, 0, 2);
+  spec.src_port = 1111;
+  spec.dst_port = 2222;
+  const std::uint8_t payload[] = {1};
+  const auto frame = build_udp_frame(spec, payload);
+  const auto parsed = parse_frame(frame.bytes());
+  ASSERT_TRUE(parsed.has_value());
+  const auto f = flow_of(*parsed);
+  EXPECT_EQ(f.src_ip, spec.src_ip);
+  EXPECT_EQ(f.dst_port, 2222);
+  EXPECT_EQ(f.protocol, IpProto::kUdp);
+}
+
+TEST(FlowTest, HashDistinguishesFlows) {
+  std::unordered_set<FiveTuple> set;
+  for (std::uint16_t p = 1; p <= 1000; ++p) {
+    set.insert(FiveTuple{Ipv4Addr::of(10, 0, 0, 1),
+                         Ipv4Addr::of(10, 0, 0, 2), p, 80, IpProto::kTcp});
+  }
+  EXPECT_EQ(set.size(), 1000u);
+}
+
+TEST(FlowTest, ToStringIsReadable) {
+  FiveTuple f{Ipv4Addr::of(10, 0, 0, 1), Ipv4Addr::of(10, 0, 0, 2), 5, 80,
+              IpProto::kTcp};
+  EXPECT_EQ(f.to_string(), "tcp 10.0.0.1:5 -> 10.0.0.2:80");
+}
+
+}  // namespace
+}  // namespace prism::net

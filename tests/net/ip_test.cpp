@@ -1,0 +1,33 @@
+#include "net/ip.h"
+
+#include <gtest/gtest.h>
+
+namespace prism::net {
+namespace {
+
+TEST(IpTest, OfBuildsCorrectValue) {
+  const auto a = Ipv4Addr::of(10, 0, 0, 1);
+  EXPECT_EQ(a.value, 0x0a000001u);
+}
+
+TEST(IpTest, RoundTripsThroughString) {
+  const auto a = Ipv4Addr::of(192, 168, 1, 42);
+  EXPECT_EQ(a.to_string(), "192.168.1.42");
+  EXPECT_EQ(Ipv4Addr::parse(a.to_string()), a);
+}
+
+TEST(IpTest, ParseRejectsGarbage) {
+  EXPECT_THROW(Ipv4Addr::parse("hello"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Addr::parse("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Addr::parse("1.2.3.4.5"), std::invalid_argument);
+  EXPECT_THROW(Ipv4Addr::parse("256.0.0.1"), std::invalid_argument);
+}
+
+TEST(IpTest, AnyIsZero) { EXPECT_EQ(Ipv4Addr::any().value, 0u); }
+
+TEST(IpTest, Ordering) {
+  EXPECT_LT(Ipv4Addr::of(10, 0, 0, 1), Ipv4Addr::of(10, 0, 0, 2));
+}
+
+}  // namespace
+}  // namespace prism::net

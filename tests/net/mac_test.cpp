@@ -1,0 +1,45 @@
+#include "net/mac.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace prism::net {
+namespace {
+
+TEST(MacTest, RoundTripsThroughString) {
+  const MacAddr m{{0xde, 0xad, 0xbe, 0xef, 0x00, 0x42}};
+  EXPECT_EQ(m.to_string(), "de:ad:be:ef:00:42");
+  EXPECT_EQ(MacAddr::parse(m.to_string()), m);
+}
+
+TEST(MacTest, ParseRejectsGarbage) {
+  EXPECT_THROW(MacAddr::parse("not-a-mac"), std::invalid_argument);
+  EXPECT_THROW(MacAddr::parse("aa:bb:cc:dd:ee"), std::invalid_argument);
+  EXPECT_THROW(MacAddr::parse("aa:bb:cc:dd:ee:fff"), std::invalid_argument);
+}
+
+TEST(MacTest, BroadcastProperties) {
+  EXPECT_TRUE(MacAddr::broadcast().is_broadcast());
+  EXPECT_TRUE(MacAddr::broadcast().is_multicast());
+  EXPECT_FALSE(MacAddr::make(1).is_broadcast());
+}
+
+TEST(MacTest, MakeIsUnicastAndUnique) {
+  std::unordered_set<MacAddr> seen;
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    const auto m = MacAddr::make(i);
+    EXPECT_FALSE(m.is_multicast());
+    EXPECT_TRUE(seen.insert(m).second) << "duplicate at " << i;
+  }
+}
+
+TEST(MacTest, ComparableAndHashable) {
+  EXPECT_EQ(MacAddr::make(5), MacAddr::make(5));
+  EXPECT_NE(MacAddr::make(5), MacAddr::make(6));
+  EXPECT_EQ(std::hash<MacAddr>{}(MacAddr::make(5)),
+            std::hash<MacAddr>{}(MacAddr::make(5)));
+}
+
+}  // namespace
+}  // namespace prism::net

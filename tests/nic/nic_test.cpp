@@ -1,0 +1,201 @@
+#include "nic/nic.h"
+
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace prism::nic {
+namespace {
+
+net::PacketBuf udp_frame(std::uint16_t src_port) {
+  net::FrameSpec spec;
+  spec.src_mac = net::MacAddr::make(1);
+  spec.dst_mac = net::MacAddr::make(2);
+  spec.src_ip = net::Ipv4Addr::of(10, 0, 0, 1);
+  spec.dst_ip = net::Ipv4Addr::of(10, 0, 0, 2);
+  spec.src_port = src_port;
+  spec.dst_port = 9;
+  const std::uint8_t payload[32] = {};
+  return net::build_udp_frame(spec, payload);
+}
+
+TEST(RxQueueTest, ImmediateIrqWithoutCoalescing) {
+  sim::Simulator sim;
+  RxQueue q(sim, 16);
+  int irqs = 0;
+  q.set_irq_handler([&] { ++irqs; });
+  q.push(udp_frame(1));
+  EXPECT_EQ(irqs, 1);
+  // IRQ masked until enable_irq: further frames do not fire.
+  q.push(udp_frame(2));
+  EXPECT_EQ(irqs, 1);
+  EXPECT_EQ(q.size(), 2u);
+}
+
+TEST(RxQueueTest, EnableIrqRefiresWhenPending) {
+  sim::Simulator sim;
+  RxQueue q(sim, 16);
+  int irqs = 0;
+  q.set_irq_handler([&] { ++irqs; });
+  q.push(udp_frame(1));
+  q.pop();
+  q.push(udp_frame(2));  // masked: no fire
+  EXPECT_EQ(irqs, 1);
+  q.enable_irq();  // pending frame -> immediate refire
+  EXPECT_EQ(irqs, 2);
+}
+
+TEST(RxQueueTest, EnableIrqIdleDoesNotFire) {
+  sim::Simulator sim;
+  RxQueue q(sim, 16);
+  int irqs = 0;
+  q.set_irq_handler([&] { ++irqs; });
+  q.push(udp_frame(1));
+  q.pop();
+  q.enable_irq();
+  EXPECT_EQ(irqs, 1);
+}
+
+TEST(RxQueueTest, OverflowDropsAndCounts) {
+  sim::Simulator sim;
+  RxQueue q(sim, 2);
+  q.push(udp_frame(1));
+  q.push(udp_frame(2));
+  q.push(udp_frame(3));
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.frames_dropped(), 1u);
+  EXPECT_EQ(q.frames_received(), 2u);
+}
+
+TEST(RxQueueTest, PopReturnsFifoWithTimestamps) {
+  sim::Simulator sim;
+  RxQueue q(sim, 16);
+  q.push(udp_frame(1));
+  sim.schedule(100, [&] { q.push(udp_frame(2)); });
+  sim.run();
+  auto first = q.pop();
+  auto second = q.pop();
+  ASSERT_TRUE(first && second);
+  EXPECT_EQ(first->arrived, 0);
+  EXPECT_EQ(second->arrived, 100);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+// ------------------------------------------------------- coalescing
+
+TEST(RxQueueTest, CoalescingFiresImmediatelyAfterQuietPeriod) {
+  sim::Simulator sim;
+  RxQueue q(sim, 64, CoalesceConfig{sim::microseconds(50), 64});
+  int irqs = 0;
+  q.set_irq_handler([&] { ++irqs; });
+  // First ever frame: line has been quiet forever -> immediate.
+  q.push(udp_frame(1));
+  EXPECT_EQ(irqs, 1);
+}
+
+TEST(RxQueueTest, CoalescingModeratesCloseArrivals) {
+  sim::Simulator sim;
+  RxQueue q(sim, 64, CoalesceConfig{sim::microseconds(50), 64});
+  std::vector<sim::Time> fires;
+  q.set_irq_handler([&] { fires.push_back(sim.now()); });
+  q.push(udp_frame(1));  // fires at t=0
+  q.pop();
+  q.enable_irq();
+  sim.schedule(sim::microseconds(10), [&] { q.push(udp_frame(2)); });
+  sim.run();
+  ASSERT_EQ(fires.size(), 2u);
+  EXPECT_EQ(fires[0], 0);
+  // Second fire deferred to the end of the moderation window.
+  EXPECT_EQ(fires[1], sim::microseconds(50));
+}
+
+TEST(RxQueueTest, FrameThresholdOverridesModeration) {
+  sim::Simulator sim;
+  RxQueue q(sim, 128, CoalesceConfig{sim::microseconds(50), 4});
+  std::vector<sim::Time> fires;
+  q.set_irq_handler([&] { fires.push_back(sim.now()); });
+  q.push(udp_frame(1));  // immediate (quiet line)
+  while (q.pop()) {
+  }
+  q.enable_irq();
+  // Push 4 frames shortly after: the 4th reaches the frame threshold.
+  sim.schedule(sim::microseconds(5), [&] {
+    for (int i = 0; i < 4; ++i) q.push(udp_frame(2));
+  });
+  sim.run_until(sim::microseconds(6));
+  ASSERT_EQ(fires.size(), 2u);
+  EXPECT_EQ(fires[1], sim::microseconds(5));
+}
+
+TEST(RxQueueTest, StaleCoalesceTimerIgnored) {
+  sim::Simulator sim;
+  RxQueue q(sim, 64, CoalesceConfig{sim::microseconds(50), 64});
+  int irqs = 0;
+  q.set_irq_handler([&] { ++irqs; });
+  q.push(udp_frame(1));  // fire 1 at t=0
+  q.pop();
+  q.enable_irq();
+  sim.schedule(sim::microseconds(10), [&] {
+    q.push(udp_frame(2));  // arms timer for t=50us
+  });
+  // Drain before the timer fires: no spurious IRQ.
+  sim.schedule(sim::microseconds(20), [&] { q.pop(); });
+  sim.run();
+  EXPECT_EQ(irqs, 1);
+}
+
+TEST(RxQueueTest, BadCoalesceFramesRejected) {
+  sim::Simulator sim;
+  EXPECT_THROW(RxQueue(sim, 16, CoalesceConfig{0, 0}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------- RSS
+
+TEST(NicTest, SingleQueueTakesEverything) {
+  sim::Simulator sim;
+  Nic nic(sim, 1, 64);
+  for (std::uint16_t p = 1; p <= 20; ++p) nic.receive(udp_frame(p));
+  EXPECT_EQ(nic.queue(0).size(), 20u);
+}
+
+TEST(NicTest, RssSpreadsFlowsAcrossQueues) {
+  sim::Simulator sim;
+  Nic nic(sim, 4, 256);
+  for (std::uint16_t p = 1; p <= 200; ++p) nic.receive(udp_frame(p));
+  int nonempty = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (nic.queue(i).size() > 0) ++nonempty;
+  }
+  EXPECT_GE(nonempty, 3);  // 200 distinct flows should hit most queues
+}
+
+TEST(NicTest, SameFlowSticksToOneQueue) {
+  sim::Simulator sim;
+  Nic nic(sim, 4, 256);
+  for (int i = 0; i < 50; ++i) nic.receive(udp_frame(7));
+  int with_frames = 0;
+  for (int i = 0; i < 4; ++i) {
+    if (nic.queue(i).size() > 0) {
+      ++with_frames;
+      EXPECT_EQ(nic.queue(i).size(), 50u);
+    }
+  }
+  EXPECT_EQ(with_frames, 1);
+}
+
+TEST(NicTest, DropCountAggregatesQueues) {
+  sim::Simulator sim;
+  Nic nic(sim, 1, 4);
+  for (int i = 0; i < 10; ++i) nic.receive(udp_frame(3));
+  EXPECT_EQ(nic.rx_dropped(), 6u);
+}
+
+TEST(NicTest, InvalidQueueCountRejected) {
+  sim::Simulator sim;
+  EXPECT_THROW(Nic(sim, 0, 64), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prism::nic

@@ -1,0 +1,91 @@
+#include "nic/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "nic/nic.h"
+#include "sim/simulator.h"
+
+namespace prism::nic {
+namespace {
+
+net::PacketBuf make_frame(std::size_t size) {
+  std::vector<std::uint8_t> payload(size, 0xaa);
+  return net::PacketBuf::with_headroom(0, payload);
+}
+
+struct Rig {
+  sim::Simulator sim;
+  Nic a{sim, 1, 64};
+  Nic b{sim, 1, 64};
+  Wire wire{sim, 100.0, sim::nanoseconds(500)};
+  Rig() {
+    wire.attach(a, b);
+    a.attach_wire(wire);
+    b.attach_wire(wire);
+  }
+};
+
+TEST(WireTest, DeliversToOppositeEndpoint) {
+  Rig r;
+  r.a.transmit(make_frame(100));
+  r.sim.run();
+  EXPECT_EQ(r.b.rx_frames(), 1u);
+  EXPECT_EQ(r.a.rx_frames(), 0u);
+  EXPECT_EQ(r.wire.frames_delivered(), 1u);
+}
+
+TEST(WireTest, DeliveryDelayedBySerializationAndPropagation) {
+  Rig r;
+  r.a.transmit(make_frame(1480));
+  r.sim.run();
+  // (1480 + 20 preamble/IFG) * 8 bits / 100 Gbps = 120 ns, plus 500 ns
+  // propagation.
+  EXPECT_EQ(r.sim.now(), 120 + 500);
+}
+
+TEST(WireTest, BackToBackFramesSerializeSequentially) {
+  Rig r;
+  for (int i = 0; i < 10; ++i) r.a.transmit(make_frame(1480));
+  r.sim.run();
+  EXPECT_EQ(r.b.rx_frames(), 10u);
+  // Last frame leaves after 10 serialization slots.
+  EXPECT_EQ(r.sim.now(), 10 * 120 + 500);
+}
+
+TEST(WireTest, DirectionsAreIndependent) {
+  Rig r;
+  r.a.transmit(make_frame(1480));
+  r.b.transmit(make_frame(1480));
+  r.sim.run();
+  EXPECT_EQ(r.a.rx_frames(), 1u);
+  EXPECT_EQ(r.b.rx_frames(), 1u);
+  // Both arrive at the single-frame latency: no cross-direction queueing.
+  EXPECT_EQ(r.sim.now(), 120 + 500);
+}
+
+TEST(WireTest, TransmitWithoutAttachThrows) {
+  sim::Simulator sim;
+  Nic n(sim, 1, 64);
+  EXPECT_THROW(n.transmit(make_frame(64)), std::logic_error);
+}
+
+TEST(WireTest, DoubleAttachThrows) {
+  Rig r;
+  Nic c(r.sim, 1, 64);
+  EXPECT_THROW(r.wire.attach(r.a, c), std::logic_error);
+}
+
+TEST(WireTest, ForeignNicRejected) {
+  Rig r;
+  Nic c(r.sim, 1, 64);
+  c.attach_wire(r.wire);
+  EXPECT_THROW(c.transmit(make_frame(64)), std::logic_error);
+}
+
+TEST(WireTest, BadBandwidthRejected) {
+  sim::Simulator sim;
+  EXPECT_THROW(Wire(sim, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prism::nic

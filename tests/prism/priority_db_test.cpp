@@ -1,0 +1,126 @@
+#include "prism/priority_db.h"
+
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+
+namespace prism::prism {
+namespace {
+
+net::PacketBuf udp_frame(net::Ipv4Addr src, std::uint16_t sport,
+                         net::Ipv4Addr dst, std::uint16_t dport) {
+  net::FrameSpec spec;
+  spec.src_mac = net::MacAddr::make(1);
+  spec.dst_mac = net::MacAddr::make(2);
+  spec.src_ip = src;
+  spec.dst_ip = dst;
+  spec.src_port = sport;
+  spec.dst_port = dport;
+  const std::uint8_t payload[8] = {};
+  return net::build_udp_frame(spec, payload);
+}
+
+const auto kSrc = net::Ipv4Addr::of(172, 17, 0, 2);
+const auto kDst = net::Ipv4Addr::of(172, 17, 0, 3);
+
+TEST(PriorityDbTest, AddRemoveContains) {
+  PriorityDb db;
+  EXPECT_TRUE(db.empty());
+  db.add(kDst, 80);
+  EXPECT_TRUE(db.contains(kDst, 80));
+  EXPECT_FALSE(db.contains(kDst, 81));
+  EXPECT_FALSE(db.contains(kSrc, 80));
+  EXPECT_TRUE(db.remove(kDst, 80));
+  EXPECT_FALSE(db.remove(kDst, 80));
+  EXPECT_TRUE(db.empty());
+}
+
+TEST(PriorityDbTest, AddIsIdempotent) {
+  PriorityDb db;
+  db.add(kDst, 80);
+  db.add(kDst, 80);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(PriorityDbTest, ClassifyMatchesDestination) {
+  PriorityDb db;
+  db.add(kDst, 7000);
+  const auto hit = udp_frame(kSrc, 1234, kDst, 7000);
+  const auto miss = udp_frame(kSrc, 1234, kDst, 7001);
+  EXPECT_TRUE(db.classify(hit.bytes()));
+  EXPECT_FALSE(db.classify(miss.bytes()));
+}
+
+TEST(PriorityDbTest, ClassifyMatchesSource) {
+  PriorityDb db;
+  db.add(kSrc, 1234);
+  const auto hit = udp_frame(kSrc, 1234, kDst, 9999);
+  EXPECT_TRUE(db.classify(hit.bytes()));
+}
+
+TEST(PriorityDbTest, ClassifyPeeksThroughVxlan) {
+  PriorityDb db;
+  db.add(kDst, 7000);
+  auto frame = udp_frame(kSrc, 1234, kDst, 7000);
+  net::FrameSpec outer;
+  outer.src_mac = net::MacAddr::make(10);
+  outer.dst_mac = net::MacAddr::make(11);
+  outer.src_ip = net::Ipv4Addr::of(10, 0, 0, 1);
+  outer.dst_ip = net::Ipv4Addr::of(10, 0, 0, 2);
+  outer.src_port = 55555;
+  net::vxlan_encapsulate(frame, outer, 42);
+  EXPECT_TRUE(db.classify(frame.bytes()));
+}
+
+TEST(PriorityDbTest, ClassifyVxlanInnerMissIsLow) {
+  PriorityDb db;
+  db.add(kDst, 7000);
+  auto frame = udp_frame(kSrc, 1234, kDst, 7001);
+  net::FrameSpec outer;
+  outer.src_mac = net::MacAddr::make(10);
+  outer.dst_mac = net::MacAddr::make(11);
+  outer.src_ip = net::Ipv4Addr::of(10, 0, 0, 1);
+  outer.dst_ip = net::Ipv4Addr::of(10, 0, 0, 2);
+  net::vxlan_encapsulate(frame, outer, 42);
+  EXPECT_FALSE(db.classify(frame.bytes()));
+}
+
+TEST(PriorityDbTest, EmptyDbNeverMatches) {
+  PriorityDb db;
+  const auto frame = udp_frame(kSrc, 1, kDst, 2);
+  EXPECT_FALSE(db.classify(frame.bytes()));
+}
+
+TEST(PriorityDbTest, MalformedFrameIsLowPriority) {
+  PriorityDb db;
+  db.add(kDst, 7000);
+  const std::uint8_t garbage[10] = {1, 2, 3};
+  EXPECT_FALSE(db.classify(garbage));
+}
+
+TEST(PriorityDbTest, ClearEmpties) {
+  PriorityDb db;
+  db.add(kDst, 1);
+  db.add(kDst, 2);
+  db.clear();
+  EXPECT_TRUE(db.empty());
+  const auto frame = udp_frame(kSrc, 1, kDst, 1);
+  EXPECT_FALSE(db.classify(frame.bytes()));
+}
+
+TEST(PriorityDbTest, TcpFlowsMatchToo) {
+  PriorityDb db;
+  db.add(kDst, 80);
+  net::FrameSpec spec;
+  spec.src_mac = net::MacAddr::make(1);
+  spec.dst_mac = net::MacAddr::make(2);
+  spec.src_ip = kSrc;
+  spec.dst_ip = kDst;
+  spec.src_port = 40000;
+  spec.dst_port = 80;
+  const auto frame = net::build_tcp_frame(spec, net::TcpHeader{}, {});
+  EXPECT_TRUE(db.classify(frame.bytes()));
+}
+
+}  // namespace
+}  // namespace prism::prism

@@ -1,0 +1,64 @@
+#include "prism/proc_interface.h"
+
+#include <gtest/gtest.h>
+
+namespace prism::prism {
+namespace {
+
+struct Rig {
+  PriorityDb db;
+  kernel::NapiMode mode = kernel::NapiMode::kVanilla;
+  ProcInterface proc{db, [this](kernel::NapiMode m) { mode = m; },
+                     [this] { return mode; }};
+};
+
+TEST(ProcInterfaceTest, ModeWritesAndReads) {
+  Rig r;
+  EXPECT_EQ(r.proc.read("prism/mode"), "vanilla");
+  EXPECT_TRUE(r.proc.write("prism/mode", "sync"));
+  EXPECT_EQ(r.mode, kernel::NapiMode::kPrismSync);
+  EXPECT_EQ(r.proc.read("prism/mode"), "sync");
+  EXPECT_TRUE(r.proc.write("prism/mode", "batch"));
+  EXPECT_EQ(r.mode, kernel::NapiMode::kPrismBatch);
+  EXPECT_TRUE(r.proc.write("prism/mode", "vanilla"));
+  EXPECT_EQ(r.mode, kernel::NapiMode::kVanilla);
+}
+
+TEST(ProcInterfaceTest, BadModeRejected) {
+  Rig r;
+  EXPECT_FALSE(r.proc.write("prism/mode", "turbo"));
+  EXPECT_EQ(r.mode, kernel::NapiMode::kVanilla);
+}
+
+TEST(ProcInterfaceTest, PriorityAddDelClear) {
+  Rig r;
+  EXPECT_TRUE(r.proc.write("prism/priority", "add 172.17.0.2 11211"));
+  EXPECT_TRUE(r.db.contains(net::Ipv4Addr::of(172, 17, 0, 2), 11211));
+  EXPECT_EQ(r.proc.read("prism/priority"), "1");
+  EXPECT_TRUE(r.proc.write("prism/priority", "del 172.17.0.2 11211"));
+  EXPECT_TRUE(r.db.empty());
+  EXPECT_FALSE(r.proc.write("prism/priority", "del 172.17.0.2 11211"));
+  EXPECT_TRUE(r.proc.write("prism/priority", "add 1.2.3.4 1"));
+  EXPECT_TRUE(r.proc.write("prism/priority", "clear"));
+  EXPECT_TRUE(r.db.empty());
+}
+
+TEST(ProcInterfaceTest, MalformedPriorityWritesRejected) {
+  Rig r;
+  EXPECT_FALSE(r.proc.write("prism/priority", "add"));
+  EXPECT_FALSE(r.proc.write("prism/priority", "add 1.2.3.4"));
+  EXPECT_FALSE(r.proc.write("prism/priority", "add nonsense 80"));
+  EXPECT_FALSE(r.proc.write("prism/priority", "add 1.2.3.4 99999"));
+  EXPECT_FALSE(r.proc.write("prism/priority", "add 1.2.3.4 -1"));
+  EXPECT_FALSE(r.proc.write("prism/priority", "frobnicate 1.2.3.4 1"));
+  EXPECT_TRUE(r.db.empty());
+}
+
+TEST(ProcInterfaceTest, UnknownPathRejected) {
+  Rig r;
+  EXPECT_FALSE(r.proc.write("prism/unknown", "x"));
+  EXPECT_EQ(r.proc.read("prism/unknown"), "");
+}
+
+}  // namespace
+}  // namespace prism::prism

@@ -1,0 +1,67 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace prism::sim {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&] { order.push_back(3); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, EqualTimesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    q.push(42, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop()();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueueTest, NextTimeReportsEarliest) {
+  EventQueue q;
+  q.push(50, [] {});
+  q.push(5, [] {});
+  EXPECT_EQ(q.next_time(), 5);
+  q.pop();
+  EXPECT_EQ(q.next_time(), 50);
+}
+
+TEST(EventQueueTest, ClearDiscardsEverything) {
+  EventQueue q;
+  q.push(1, [] {});
+  q.push(2, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, InterleavedPushPopKeepsOrder) {
+  EventQueue q;
+  std::vector<Time> fired;
+  q.push(10, [&] { fired.push_back(10); });
+  q.push(5, [&] { fired.push_back(5); });
+  q.pop()();  // fires 5
+  q.push(7, [&] { fired.push_back(7); });
+  q.push(3, [&] { fired.push_back(3); });  // "past" — still earliest now
+  while (!q.empty()) q.pop()();
+  EXPECT_EQ(fired, (std::vector<Time>{5, 3, 7, 10}));
+}
+
+}  // namespace
+}  // namespace prism::sim

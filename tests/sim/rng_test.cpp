@@ -1,0 +1,104 @@
+#include "sim/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace prism::sim {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform_int(10, 20);
+    EXPECT_GE(v, 10);
+    EXPECT_LE(v, 20);
+  }
+}
+
+TEST(RngTest, UniformIntHitsAllValues) {
+  Rng r(5);
+  std::vector<int> hits(5, 0);
+  for (int i = 0; i < 5000; ++i) {
+    ++hits[static_cast<size_t>(r.uniform_int(0, 4))];
+  }
+  for (int h : hits) EXPECT_GT(h, 0);
+}
+
+TEST(RngTest, ExponentialMeanMatches) {
+  Rng r(13);
+  const Duration mean = microseconds(100);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(r.exponential(mean));
+  }
+  EXPECT_NEAR(sum / n, static_cast<double>(mean),
+              static_cast<double>(mean) * 0.02);
+}
+
+TEST(RngTest, ExponentialIsPositive) {
+  Rng r(17);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(r.exponential(1000), 1);
+}
+
+TEST(RngTest, ChanceRespectsProbability) {
+  Rng r(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (r.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.split();
+  // Child stream differs from the parent's continued stream.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next() == child.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(RngTest, SplitIsDeterministic) {
+  Rng a(29), b(29);
+  Rng ca = a.split(), cb = b.split();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca.next(), cb.next());
+}
+
+}  // namespace
+}  // namespace prism::sim

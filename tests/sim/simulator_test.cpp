@@ -1,0 +1,95 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace prism::sim {
+namespace {
+
+TEST(SimulatorTest, ClockAdvancesToEventTimes) {
+  Simulator s;
+  std::vector<Time> seen;
+  s.schedule(100, [&] { seen.push_back(s.now()); });
+  s.schedule(50, [&] { seen.push_back(s.now()); });
+  s.run();
+  EXPECT_EQ(seen, (std::vector<Time>{50, 100}));
+  EXPECT_EQ(s.now(), 100);
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator s;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) s.schedule(10, chain);
+  };
+  s.schedule(10, chain);
+  s.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(s.now(), 50);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator s;
+  int fired = 0;
+  for (Time t = 10; t <= 100; t += 10) {
+    s.schedule_at(t, [&] { ++fired; });
+  }
+  s.run_until(50);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(s.now(), 50);
+  s.run_until(100);
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockToDeadlineWhenIdle) {
+  Simulator s;
+  s.run_until(1000);
+  EXPECT_EQ(s.now(), 1000);
+}
+
+TEST(SimulatorTest, StopAbortsRun) {
+  Simulator s;
+  int fired = 0;
+  s.schedule(10, [&] {
+    ++fired;
+    s.stop();
+  });
+  s.schedule(20, [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  // A subsequent run resumes with the remaining events.
+  s.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, ScheduleAtPastClampsToNow) {
+  Simulator s;
+  Time fired_at = -1;
+  s.schedule(100, [&] {
+    s.schedule_at(5, [&] { fired_at = s.now(); });
+  });
+  s.run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(SimulatorTest, CountsExecutedEvents) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.schedule(i, [] {});
+  s.run();
+  EXPECT_EQ(s.events_executed(), 7u);
+}
+
+TEST(SimulatorTest, SameInstantRunsInScheduleOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.schedule(10, [&] { order.push_back(1); });
+  s.schedule(10, [&] { order.push_back(2); });
+  s.schedule(10, [&] { order.push_back(3); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace prism::sim

@@ -1,0 +1,65 @@
+#include "stats/cdf.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.h"
+
+namespace prism::stats {
+namespace {
+
+TEST(CdfTest, PointsAreMonotonicAndEndAtOne) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.record(i * 137);
+  const auto points = cdf_points(h);
+  ASSERT_FALSE(points.empty());
+  double prev_frac = 0.0;
+  std::int64_t prev_val = -1;
+  for (const auto& p : points) {
+    EXPECT_GT(p.value_ns, prev_val);
+    EXPECT_GE(p.fraction, prev_frac);
+    prev_val = p.value_ns;
+    prev_frac = p.fraction;
+  }
+  EXPECT_DOUBLE_EQ(points.back().fraction, 1.0);
+}
+
+TEST(CdfTest, EmptyHistogramYieldsNoPoints) {
+  Histogram h;
+  EXPECT_TRUE(cdf_points(h).empty());
+}
+
+TEST(CdfTest, QuantilesHaveRequestedCount) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(i);
+  const auto q = cdf_quantiles(h, 10);
+  EXPECT_EQ(q.size(), 11u);
+  EXPECT_DOUBLE_EQ(q.front().fraction, 0.0);
+  EXPECT_DOUBLE_EQ(q.back().fraction, 1.0);
+}
+
+TEST(CdfTest, QuantilesRejectBadN) {
+  Histogram h;
+  EXPECT_THROW(cdf_quantiles(h, 1), std::invalid_argument);
+}
+
+TEST(CdfTest, RenderTableContainsLabelsAndTailRows) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) {
+    a.record(1000 + i);
+    b.record(2000 + i);
+  }
+  const auto text = render_cdf_table({"vanilla", "prism"}, {&a, &b});
+  EXPECT_NE(text.find("vanilla"), std::string::npos);
+  EXPECT_NE(text.find("prism"), std::string::npos);
+  EXPECT_NE(text.find("p99.0"), std::string::npos);
+  EXPECT_NE(text.find("p99.9"), std::string::npos);
+}
+
+TEST(CdfTest, RenderTableRejectsMismatchedInputs) {
+  Histogram a;
+  EXPECT_THROW(render_cdf_table({"one", "two"}, {&a}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace prism::stats

@@ -1,0 +1,45 @@
+#include "stats/cpu_accounting.h"
+
+#include <gtest/gtest.h>
+
+namespace prism::stats {
+namespace {
+
+TEST(CpuAccountingTest, AccumulatesBusyTime) {
+  CpuAccounting acc;
+  acc.add_busy(100);
+  acc.add_busy(200);
+  EXPECT_EQ(acc.busy_time(), 300);
+}
+
+TEST(CpuAccountingTest, NegativeDurationsIgnored) {
+  CpuAccounting acc;
+  acc.add_busy(-50);
+  EXPECT_EQ(acc.busy_time(), 0);
+}
+
+TEST(CpuAccountingTest, WindowUtilization) {
+  CpuAccounting acc;
+  acc.add_busy(1000);  // before window — excluded
+  acc.begin_window(10'000);
+  acc.add_busy(600);
+  EXPECT_DOUBLE_EQ(acc.utilization(11'000), 0.6);
+}
+
+TEST(CpuAccountingTest, EmptyWindowIsZero) {
+  CpuAccounting acc;
+  acc.begin_window(500);
+  EXPECT_DOUBLE_EQ(acc.utilization(500), 0.0);
+}
+
+TEST(CpuAccountingTest, ResetClearsEverything) {
+  CpuAccounting acc;
+  acc.add_busy(123);
+  acc.begin_window(10);
+  acc.reset();
+  EXPECT_EQ(acc.busy_time(), 0);
+  EXPECT_DOUBLE_EQ(acc.utilization(100), 0.0);
+}
+
+}  // namespace
+}  // namespace prism::stats

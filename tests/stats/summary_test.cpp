@@ -1,0 +1,40 @@
+#include "stats/summary.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.h"
+
+namespace prism::stats {
+namespace {
+
+TEST(SummaryTest, ExtractsAllFields) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.record(i);
+  const LatencySummary s = summarize(h);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.min_ns, 1);
+  EXPECT_EQ(s.max_ns, 100);
+  EXPECT_EQ(s.p50_ns, 50);
+  EXPECT_EQ(s.p90_ns, 90);
+  EXPECT_EQ(s.p99_ns, 99);
+  EXPECT_NEAR(s.mean_ns, 50.5, 1e-9);
+}
+
+TEST(SummaryTest, EmptyHistogram) {
+  Histogram h;
+  const LatencySummary s = summarize(h);
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p99_ns, 0);
+}
+
+TEST(SummaryTest, ToStringMentionsKeyFields) {
+  Histogram h;
+  h.record(42'000);  // 42 us
+  const auto text = to_string(summarize(h));
+  EXPECT_NE(text.find("n=1"), std::string::npos);
+  EXPECT_NE(text.find("42.0us"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace prism::stats

@@ -1,0 +1,42 @@
+#include "stats/table.h"
+
+#include <gtest/gtest.h>
+
+namespace prism::stats {
+namespace {
+
+TEST(TableTest, RendersAlignedColumns) {
+  Table t({"mode", "latency"});
+  t.add_row({"vanilla", "100.0"});
+  t.add_row({"prism-sync", "50.0"});
+  const auto text = t.render();
+  EXPECT_NE(text.find("mode"), std::string::npos);
+  EXPECT_NE(text.find("prism-sync"), std::string::npos);
+  EXPECT_NE(text.find("----"), std::string::npos);
+  // Header + rule + 2 rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(TableTest, WideRowsRejected) {
+  Table t({"a"});
+  EXPECT_THROW(t.add_row({"x", "y"}), std::invalid_argument);
+}
+
+TEST(TableTest, EmptyHeaderRejected) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(TableTest, CellFormatsNumbers) {
+  EXPECT_EQ(Table::cell(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::cell(10.0), "10.0");
+}
+
+}  // namespace
+}  // namespace prism::stats

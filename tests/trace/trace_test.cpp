@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "trace/packet_trace.h"
+#include "trace/poll_trace.h"
+
+namespace prism::trace {
+namespace {
+
+TEST(PollTraceTest, RecordsAndRenders) {
+  PollTrace trace;
+  trace.on_poll(100, "eth", {"br", "eth"}, 64);
+  trace.on_poll(200, "br", {"eth", "veth"}, 64);
+  ASSERT_EQ(trace.records().size(), 2u);
+  EXPECT_EQ(trace.records()[0].iteration, 1u);
+  EXPECT_EQ(trace.records()[1].device, "br");
+  EXPECT_EQ(trace.device_order(),
+            (std::vector<std::string>{"eth", "br"}));
+  const auto text = trace.render();
+  EXPECT_NE(text.find("eth"), std::string::npos);
+  EXPECT_NE(text.find("[br, eth]"), std::string::npos);
+  trace.clear();
+  EXPECT_TRUE(trace.records().empty());
+}
+
+TEST(PollTraceTest, RenderRespectsRowLimit) {
+  PollTrace trace;
+  for (int i = 0; i < 100; ++i) trace.on_poll(i, "eth", {}, 1);
+  const auto text = trace.render(3);
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);  // header + 3
+}
+
+TEST(PacketTraceTest, BreakdownComputesMeans) {
+  PacketTrace trace;
+  kernel::Skb skb;
+  skb.ts.nic_rx = 0;
+  skb.ts.stage1_done = 1000;
+  skb.ts.stage2_done = 3000;
+  skb.ts.stage3_done = 6000;
+  skb.ts.socket_enqueue = 6000;
+  trace.on_delivered(skb, 6000);
+  skb.ts.stage1_done = 3000;
+  skb.ts.stage2_done = 5000;
+  skb.ts.stage3_done = 8000;
+  skb.ts.socket_enqueue = 8000;
+  trace.on_delivered(skb, 8000);
+  EXPECT_DOUBLE_EQ(
+      trace.mean_interval_ns(&kernel::SkbTimestamps::nic_rx,
+                             &kernel::SkbTimestamps::stage1_done),
+      2000.0);
+  EXPECT_DOUBLE_EQ(
+      trace.mean_interval_ns(&kernel::SkbTimestamps::stage1_done,
+                             &kernel::SkbTimestamps::stage2_done),
+      2000.0);
+  const auto text = trace.render_breakdown();
+  EXPECT_NE(text.find("nic ring -> stage1"), std::string::npos);
+}
+
+TEST(PacketTraceTest, MissingStagesSkipped) {
+  PacketTrace trace;
+  kernel::Skb skb;  // host path: stage2/3 never traversed (-1)
+  skb.ts.nic_rx = 0;
+  skb.ts.stage1_done = 500;
+  skb.ts.socket_enqueue = 500;
+  trace.on_delivered(skb, 500);
+  EXPECT_DOUBLE_EQ(
+      trace.mean_interval_ns(&kernel::SkbTimestamps::stage1_done,
+                             &kernel::SkbTimestamps::stage2_done),
+      0.0);
+  EXPECT_DOUBLE_EQ(
+      trace.mean_interval_ns(&kernel::SkbTimestamps::nic_rx,
+                             &kernel::SkbTimestamps::socket_enqueue),
+      500.0);
+}
+
+}  // namespace
+}  // namespace prism::trace
