@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_batch_size.dir/abl_batch_size.cpp.o"
+  "CMakeFiles/abl_batch_size.dir/abl_batch_size.cpp.o.d"
+  "abl_batch_size"
+  "abl_batch_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_batch_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

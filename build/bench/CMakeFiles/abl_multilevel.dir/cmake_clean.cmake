@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_multilevel.dir/abl_multilevel.cpp.o"
+  "CMakeFiles/abl_multilevel.dir/abl_multilevel.cpp.o.d"
+  "abl_multilevel"
+  "abl_multilevel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_multilevel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_napi_budget.dir/abl_napi_budget.cpp.o"
+  "CMakeFiles/abl_napi_budget.dir/abl_napi_budget.cpp.o.d"
+  "abl_napi_budget"
+  "abl_napi_budget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_napi_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_preemption.dir/abl_preemption.cpp.o"
+  "CMakeFiles/abl_preemption.dir/abl_preemption.cpp.o.d"
+  "abl_preemption"
+  "abl_preemption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_preemption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

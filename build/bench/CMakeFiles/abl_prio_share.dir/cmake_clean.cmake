@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_prio_share.dir/abl_prio_share.cpp.o"
+  "CMakeFiles/abl_prio_share.dir/abl_prio_share.cpp.o.d"
+  "abl_prio_share"
+  "abl_prio_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_prio_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

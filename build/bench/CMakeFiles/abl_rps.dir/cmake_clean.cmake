@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_rps.dir/abl_rps.cpp.o"
+  "CMakeFiles/abl_rps.dir/abl_rps.cpp.o.d"
+  "abl_rps"
+  "abl_rps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_rps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_stage_count.dir/abl_stage_count.cpp.o"
+  "CMakeFiles/abl_stage_count.dir/abl_stage_count.cpp.o.d"
+  "abl_stage_count"
+  "abl_stage_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_stage_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_background_effect.dir/fig03_background_effect.cpp.o"
+  "CMakeFiles/fig03_background_effect.dir/fig03_background_effect.cpp.o.d"
+  "fig03_background_effect"
+  "fig03_background_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_background_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

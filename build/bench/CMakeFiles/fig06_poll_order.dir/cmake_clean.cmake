@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_poll_order.dir/fig06_poll_order.cpp.o"
+  "CMakeFiles/fig06_poll_order.dir/fig06_poll_order.cpp.o.d"
+  "fig06_poll_order"
+  "fig06_poll_order.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_poll_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_streamlined.dir/fig08_streamlined.cpp.o"
+  "CMakeFiles/fig08_streamlined.dir/fig08_streamlined.cpp.o.d"
+  "fig08_streamlined"
+  "fig08_streamlined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_streamlined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_priority_overlay.dir/fig09_priority_overlay.cpp.o"
+  "CMakeFiles/fig09_priority_overlay.dir/fig09_priority_overlay.cpp.o.d"
+  "fig09_priority_overlay"
+  "fig09_priority_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_priority_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

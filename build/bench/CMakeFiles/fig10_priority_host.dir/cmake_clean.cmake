@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_priority_host.dir/fig10_priority_host.cpp.o"
+  "CMakeFiles/fig10_priority_host.dir/fig10_priority_host.cpp.o.d"
+  "fig10_priority_host"
+  "fig10_priority_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_priority_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_memcached.dir/fig12_memcached.cpp.o"
+  "CMakeFiles/fig12_memcached.dir/fig12_memcached.cpp.o.d"
+  "fig12_memcached"
+  "fig12_memcached.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_memcached.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_webserver.dir/fig13_webserver.cpp.o"
+  "CMakeFiles/fig13_webserver.dir/fig13_webserver.cpp.o.d"
+  "fig13_webserver"
+  "fig13_webserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_webserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overlay_trace.dir/overlay_trace.cpp.o"
+  "CMakeFiles/overlay_trace.dir/overlay_trace.cpp.o.d"
+  "overlay_trace"
+  "overlay_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overlay_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

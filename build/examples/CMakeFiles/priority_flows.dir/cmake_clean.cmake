@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priority_flows.dir/priority_flows.cpp.o"
+  "CMakeFiles/priority_flows.dir/priority_flows.cpp.o.d"
+  "priority_flows"
+  "priority_flows.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priority_flows.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/http_server.cpp" "src/CMakeFiles/prism.dir/apps/http_server.cpp.o" "gcc" "src/CMakeFiles/prism.dir/apps/http_server.cpp.o.d"
+  "/root/repo/src/apps/memaslap.cpp" "src/CMakeFiles/prism.dir/apps/memaslap.cpp.o" "gcc" "src/CMakeFiles/prism.dir/apps/memaslap.cpp.o.d"
+  "/root/repo/src/apps/memcached.cpp" "src/CMakeFiles/prism.dir/apps/memcached.cpp.o" "gcc" "src/CMakeFiles/prism.dir/apps/memcached.cpp.o.d"
+  "/root/repo/src/apps/payload.cpp" "src/CMakeFiles/prism.dir/apps/payload.cpp.o" "gcc" "src/CMakeFiles/prism.dir/apps/payload.cpp.o.d"
+  "/root/repo/src/apps/sockperf.cpp" "src/CMakeFiles/prism.dir/apps/sockperf.cpp.o" "gcc" "src/CMakeFiles/prism.dir/apps/sockperf.cpp.o.d"
+  "/root/repo/src/harness/experiment.cpp" "src/CMakeFiles/prism.dir/harness/experiment.cpp.o" "gcc" "src/CMakeFiles/prism.dir/harness/experiment.cpp.o.d"
+  "/root/repo/src/harness/testbed.cpp" "src/CMakeFiles/prism.dir/harness/testbed.cpp.o" "gcc" "src/CMakeFiles/prism.dir/harness/testbed.cpp.o.d"
+  "/root/repo/src/kernel/cost_model.cpp" "src/CMakeFiles/prism.dir/kernel/cost_model.cpp.o" "gcc" "src/CMakeFiles/prism.dir/kernel/cost_model.cpp.o.d"
+  "/root/repo/src/kernel/cpu.cpp" "src/CMakeFiles/prism.dir/kernel/cpu.cpp.o" "gcc" "src/CMakeFiles/prism.dir/kernel/cpu.cpp.o.d"
+  "/root/repo/src/kernel/host.cpp" "src/CMakeFiles/prism.dir/kernel/host.cpp.o" "gcc" "src/CMakeFiles/prism.dir/kernel/host.cpp.o.d"
+  "/root/repo/src/kernel/napi.cpp" "src/CMakeFiles/prism.dir/kernel/napi.cpp.o" "gcc" "src/CMakeFiles/prism.dir/kernel/napi.cpp.o.d"
+  "/root/repo/src/kernel/net_rx_engine.cpp" "src/CMakeFiles/prism.dir/kernel/net_rx_engine.cpp.o" "gcc" "src/CMakeFiles/prism.dir/kernel/net_rx_engine.cpp.o.d"
+  "/root/repo/src/kernel/nic_napi.cpp" "src/CMakeFiles/prism.dir/kernel/nic_napi.cpp.o" "gcc" "src/CMakeFiles/prism.dir/kernel/nic_napi.cpp.o.d"
+  "/root/repo/src/kernel/protocol.cpp" "src/CMakeFiles/prism.dir/kernel/protocol.cpp.o" "gcc" "src/CMakeFiles/prism.dir/kernel/protocol.cpp.o.d"
+  "/root/repo/src/kernel/skb.cpp" "src/CMakeFiles/prism.dir/kernel/skb.cpp.o" "gcc" "src/CMakeFiles/prism.dir/kernel/skb.cpp.o.d"
+  "/root/repo/src/kernel/socket.cpp" "src/CMakeFiles/prism.dir/kernel/socket.cpp.o" "gcc" "src/CMakeFiles/prism.dir/kernel/socket.cpp.o.d"
+  "/root/repo/src/kernel/softnet.cpp" "src/CMakeFiles/prism.dir/kernel/softnet.cpp.o" "gcc" "src/CMakeFiles/prism.dir/kernel/softnet.cpp.o.d"
+  "/root/repo/src/kernel/tcp.cpp" "src/CMakeFiles/prism.dir/kernel/tcp.cpp.o" "gcc" "src/CMakeFiles/prism.dir/kernel/tcp.cpp.o.d"
+  "/root/repo/src/net/checksum.cpp" "src/CMakeFiles/prism.dir/net/checksum.cpp.o" "gcc" "src/CMakeFiles/prism.dir/net/checksum.cpp.o.d"
+  "/root/repo/src/net/flow.cpp" "src/CMakeFiles/prism.dir/net/flow.cpp.o" "gcc" "src/CMakeFiles/prism.dir/net/flow.cpp.o.d"
+  "/root/repo/src/net/headers.cpp" "src/CMakeFiles/prism.dir/net/headers.cpp.o" "gcc" "src/CMakeFiles/prism.dir/net/headers.cpp.o.d"
+  "/root/repo/src/net/ip.cpp" "src/CMakeFiles/prism.dir/net/ip.cpp.o" "gcc" "src/CMakeFiles/prism.dir/net/ip.cpp.o.d"
+  "/root/repo/src/net/mac.cpp" "src/CMakeFiles/prism.dir/net/mac.cpp.o" "gcc" "src/CMakeFiles/prism.dir/net/mac.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/prism.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/prism.dir/net/packet.cpp.o.d"
+  "/root/repo/src/nic/nic.cpp" "src/CMakeFiles/prism.dir/nic/nic.cpp.o" "gcc" "src/CMakeFiles/prism.dir/nic/nic.cpp.o.d"
+  "/root/repo/src/nic/wire.cpp" "src/CMakeFiles/prism.dir/nic/wire.cpp.o" "gcc" "src/CMakeFiles/prism.dir/nic/wire.cpp.o.d"
+  "/root/repo/src/overlay/bridge.cpp" "src/CMakeFiles/prism.dir/overlay/bridge.cpp.o" "gcc" "src/CMakeFiles/prism.dir/overlay/bridge.cpp.o.d"
+  "/root/repo/src/overlay/netns.cpp" "src/CMakeFiles/prism.dir/overlay/netns.cpp.o" "gcc" "src/CMakeFiles/prism.dir/overlay/netns.cpp.o.d"
+  "/root/repo/src/overlay/overlay_network.cpp" "src/CMakeFiles/prism.dir/overlay/overlay_network.cpp.o" "gcc" "src/CMakeFiles/prism.dir/overlay/overlay_network.cpp.o.d"
+  "/root/repo/src/prism/priority_db.cpp" "src/CMakeFiles/prism.dir/prism/priority_db.cpp.o" "gcc" "src/CMakeFiles/prism.dir/prism/priority_db.cpp.o.d"
+  "/root/repo/src/prism/proc_interface.cpp" "src/CMakeFiles/prism.dir/prism/proc_interface.cpp.o" "gcc" "src/CMakeFiles/prism.dir/prism/proc_interface.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/prism.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/prism.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/prism.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/prism.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/prism.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/prism.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/stats/cdf.cpp" "src/CMakeFiles/prism.dir/stats/cdf.cpp.o" "gcc" "src/CMakeFiles/prism.dir/stats/cdf.cpp.o.d"
+  "/root/repo/src/stats/cpu_accounting.cpp" "src/CMakeFiles/prism.dir/stats/cpu_accounting.cpp.o" "gcc" "src/CMakeFiles/prism.dir/stats/cpu_accounting.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/CMakeFiles/prism.dir/stats/histogram.cpp.o" "gcc" "src/CMakeFiles/prism.dir/stats/histogram.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/CMakeFiles/prism.dir/stats/summary.cpp.o" "gcc" "src/CMakeFiles/prism.dir/stats/summary.cpp.o.d"
+  "/root/repo/src/stats/table.cpp" "src/CMakeFiles/prism.dir/stats/table.cpp.o" "gcc" "src/CMakeFiles/prism.dir/stats/table.cpp.o.d"
+  "/root/repo/src/trace/packet_trace.cpp" "src/CMakeFiles/prism.dir/trace/packet_trace.cpp.o" "gcc" "src/CMakeFiles/prism.dir/trace/packet_trace.cpp.o.d"
+  "/root/repo/src/trace/poll_trace.cpp" "src/CMakeFiles/prism.dir/trace/poll_trace.cpp.o" "gcc" "src/CMakeFiles/prism.dir/trace/poll_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

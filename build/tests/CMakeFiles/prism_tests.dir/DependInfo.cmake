@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/apps/http_test.cpp" "tests/CMakeFiles/prism_tests.dir/apps/http_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/apps/http_test.cpp.o.d"
+  "/root/repo/tests/apps/memcached_test.cpp" "tests/CMakeFiles/prism_tests.dir/apps/memcached_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/apps/memcached_test.cpp.o.d"
+  "/root/repo/tests/apps/payload_test.cpp" "tests/CMakeFiles/prism_tests.dir/apps/payload_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/apps/payload_test.cpp.o.d"
+  "/root/repo/tests/apps/sockperf_test.cpp" "tests/CMakeFiles/prism_tests.dir/apps/sockperf_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/apps/sockperf_test.cpp.o.d"
+  "/root/repo/tests/harness/scenario_test.cpp" "tests/CMakeFiles/prism_tests.dir/harness/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/harness/scenario_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/prism_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/kernel/cpu_test.cpp" "tests/CMakeFiles/prism_tests.dir/kernel/cpu_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/kernel/cpu_test.cpp.o.d"
+  "/root/repo/tests/kernel/engine_property_test.cpp" "tests/CMakeFiles/prism_tests.dir/kernel/engine_property_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/kernel/engine_property_test.cpp.o.d"
+  "/root/repo/tests/kernel/host_test.cpp" "tests/CMakeFiles/prism_tests.dir/kernel/host_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/kernel/host_test.cpp.o.d"
+  "/root/repo/tests/kernel/multilevel_test.cpp" "tests/CMakeFiles/prism_tests.dir/kernel/multilevel_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/kernel/multilevel_test.cpp.o.d"
+  "/root/repo/tests/kernel/napi_test.cpp" "tests/CMakeFiles/prism_tests.dir/kernel/napi_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/kernel/napi_test.cpp.o.d"
+  "/root/repo/tests/kernel/net_rx_engine_test.cpp" "tests/CMakeFiles/prism_tests.dir/kernel/net_rx_engine_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/kernel/net_rx_engine_test.cpp.o.d"
+  "/root/repo/tests/kernel/rps_test.cpp" "tests/CMakeFiles/prism_tests.dir/kernel/rps_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/kernel/rps_test.cpp.o.d"
+  "/root/repo/tests/kernel/socket_test.cpp" "tests/CMakeFiles/prism_tests.dir/kernel/socket_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/kernel/socket_test.cpp.o.d"
+  "/root/repo/tests/kernel/stage_transition_test.cpp" "tests/CMakeFiles/prism_tests.dir/kernel/stage_transition_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/kernel/stage_transition_test.cpp.o.d"
+  "/root/repo/tests/kernel/tcp_property_test.cpp" "tests/CMakeFiles/prism_tests.dir/kernel/tcp_property_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/kernel/tcp_property_test.cpp.o.d"
+  "/root/repo/tests/kernel/tcp_test.cpp" "tests/CMakeFiles/prism_tests.dir/kernel/tcp_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/kernel/tcp_test.cpp.o.d"
+  "/root/repo/tests/net/checksum_test.cpp" "tests/CMakeFiles/prism_tests.dir/net/checksum_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/net/checksum_test.cpp.o.d"
+  "/root/repo/tests/net/codec_property_test.cpp" "tests/CMakeFiles/prism_tests.dir/net/codec_property_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/net/codec_property_test.cpp.o.d"
+  "/root/repo/tests/net/flow_test.cpp" "tests/CMakeFiles/prism_tests.dir/net/flow_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/net/flow_test.cpp.o.d"
+  "/root/repo/tests/net/headers_test.cpp" "tests/CMakeFiles/prism_tests.dir/net/headers_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/net/headers_test.cpp.o.d"
+  "/root/repo/tests/net/ip_test.cpp" "tests/CMakeFiles/prism_tests.dir/net/ip_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/net/ip_test.cpp.o.d"
+  "/root/repo/tests/net/mac_test.cpp" "tests/CMakeFiles/prism_tests.dir/net/mac_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/net/mac_test.cpp.o.d"
+  "/root/repo/tests/net/packet_test.cpp" "tests/CMakeFiles/prism_tests.dir/net/packet_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/net/packet_test.cpp.o.d"
+  "/root/repo/tests/nic/nic_test.cpp" "tests/CMakeFiles/prism_tests.dir/nic/nic_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/nic/nic_test.cpp.o.d"
+  "/root/repo/tests/nic/wire_test.cpp" "tests/CMakeFiles/prism_tests.dir/nic/wire_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/nic/wire_test.cpp.o.d"
+  "/root/repo/tests/overlay/overlay_test.cpp" "tests/CMakeFiles/prism_tests.dir/overlay/overlay_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/overlay/overlay_test.cpp.o.d"
+  "/root/repo/tests/prism/priority_db_test.cpp" "tests/CMakeFiles/prism_tests.dir/prism/priority_db_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/prism/priority_db_test.cpp.o.d"
+  "/root/repo/tests/prism/proc_interface_test.cpp" "tests/CMakeFiles/prism_tests.dir/prism/proc_interface_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/prism/proc_interface_test.cpp.o.d"
+  "/root/repo/tests/sim/event_queue_test.cpp" "tests/CMakeFiles/prism_tests.dir/sim/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/sim/event_queue_test.cpp.o.d"
+  "/root/repo/tests/sim/rng_test.cpp" "tests/CMakeFiles/prism_tests.dir/sim/rng_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/sim/rng_test.cpp.o.d"
+  "/root/repo/tests/sim/simulator_test.cpp" "tests/CMakeFiles/prism_tests.dir/sim/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/sim/simulator_test.cpp.o.d"
+  "/root/repo/tests/stats/cdf_test.cpp" "tests/CMakeFiles/prism_tests.dir/stats/cdf_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/stats/cdf_test.cpp.o.d"
+  "/root/repo/tests/stats/cpu_accounting_test.cpp" "tests/CMakeFiles/prism_tests.dir/stats/cpu_accounting_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/stats/cpu_accounting_test.cpp.o.d"
+  "/root/repo/tests/stats/histogram_test.cpp" "tests/CMakeFiles/prism_tests.dir/stats/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/stats/histogram_test.cpp.o.d"
+  "/root/repo/tests/stats/summary_test.cpp" "tests/CMakeFiles/prism_tests.dir/stats/summary_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/stats/summary_test.cpp.o.d"
+  "/root/repo/tests/stats/table_test.cpp" "tests/CMakeFiles/prism_tests.dir/stats/table_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/stats/table_test.cpp.o.d"
+  "/root/repo/tests/trace/trace_test.cpp" "tests/CMakeFiles/prism_tests.dir/trace/trace_test.cpp.o" "gcc" "tests/CMakeFiles/prism_tests.dir/trace/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/prism.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
