@@ -22,16 +22,22 @@ std::uint64_t get_u64(std::span<const std::uint8_t> d, std::size_t at) {
 
 std::vector<std::uint8_t> encode_probe(const Probe& probe,
                                        std::size_t payload_size) {
+  std::vector<std::uint8_t> out;
+  encode_probe_into(probe, payload_size, out);
+  return out;
+}
+
+void encode_probe_into(const Probe& probe, std::size_t payload_size,
+                       std::vector<std::uint8_t>& out) {
   if (payload_size < kProbeSize) {
     throw std::invalid_argument("encode_probe: payload smaller than probe");
   }
-  std::vector<std::uint8_t> out;
+  out.clear();
   out.reserve(payload_size);
   put_u64(out, probe.seq);
   put_u64(out, static_cast<std::uint64_t>(probe.sent_at));
   out.push_back(probe.reply ? 1 : 0);
   out.resize(payload_size, 0);
-  return out;
 }
 
 std::optional<Probe> decode_probe(std::span<const std::uint8_t> payload) {

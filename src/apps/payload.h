@@ -33,6 +33,11 @@ constexpr std::size_t kProbeSize = 24;
 std::vector<std::uint8_t> encode_probe(const Probe& probe,
                                        std::size_t payload_size);
 
+/// As encode_probe, but writes into `out`, reusing its capacity — for
+/// send loops that build one probe per packet.
+void encode_probe_into(const Probe& probe, std::size_t payload_size,
+                       std::vector<std::uint8_t>& out);
+
 /// Decodes a probe from the start of `payload`; nullopt if too short.
 std::optional<Probe> decode_probe(std::span<const std::uint8_t> payload);
 

@@ -46,7 +46,7 @@ void SockperfServer::finish_one() {
     ++echoed_;
     // sendto with the same payload (sockperf echoes verbatim).
     cfg_.host->udp_send(*cfg_.ns, *cfg_.cpu, cfg_.port, d->src_ip,
-                        d->src_port, std::move(d->payload));
+                        d->src_port, d->payload);
   }
   // Account the copy, then continue draining or go back to blocking.
   cfg_.cpu->run_task(copy, [this] {
@@ -137,9 +137,11 @@ void SockperfClient::tick(std::size_t thread_index, std::uint64_t n) {
                                    cfg_.reply_every)) == 0;
     ++t.outstanding;
     ++sent_;
+    // udp_send copies the payload into the frame before returning, so the
+    // scratch buffer is reusable immediately.
+    encode_probe_into(probe, cfg_.payload_size, probe_scratch_);
     cfg_.host->udp_send(*cfg_.ns, *t.cpu, t.src_port, cfg_.dst_ip,
-                        cfg_.dst_port,
-                        encode_probe(probe, cfg_.payload_size),
+                        cfg_.dst_port, probe_scratch_,
                         [&t] { --t.outstanding; });
   }
 }

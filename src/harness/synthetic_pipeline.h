@@ -91,7 +91,7 @@ class SyntheticSource final : public kernel::NapiStruct {
     out.cost = cost_.napi_poll_overhead;
     while (out.processed < batch && pending > 0) {
       --pending;
-      auto skb = std::make_unique<kernel::Skb>();
+      auto skb = kernel::alloc_skb();
       skb->priority = high_ ? 1 : 0;
       skb->ts.nic_rx = start;
       sim::Duration c = cost_.nic_stage_per_packet;

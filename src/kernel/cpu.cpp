@@ -11,8 +11,10 @@ Cpu::Cpu(sim::Simulator& sim, const CostModel& cost, int id)
 void Cpu::run_softirq(Chunk chunk) { enqueue(true, std::move(chunk)); }
 
 void Cpu::run_task(sim::Duration cost, std::function<void()> on_done) {
-  enqueue(false, [this, cost, cb = std::move(on_done)]() {
-    sim_.schedule(cost, cb);
+  // Chunks run exactly once, so the completion callback can be moved into
+  // the scheduled event instead of copied (a copy would clone captures).
+  enqueue(false, [this, cost, cb = std::move(on_done)]() mutable {
+    sim_.schedule(cost, std::move(cb));
     return cost;
   });
 }

@@ -23,6 +23,7 @@
 #include <functional>
 
 #include "kernel/cost_model.h"
+#include "sim/inline_fn.h"
 #include "sim/simulator.h"
 #include "stats/cpu_accounting.h"
 
@@ -35,8 +36,9 @@ class Cpu {
   /// Work to execute. Runs at the chunk's start instant and returns the
   /// simulated duration the chunk occupies the core. The body may schedule
   /// events at intermediate instants (start + partial cost) to model
-  /// effects that happen midway through the chunk.
-  using Chunk = std::function<sim::Duration()>;
+  /// effects that happen midway through the chunk. Move-only with inline
+  /// capture storage — chunks queue and run without heap traffic.
+  using Chunk = sim::InlineFn<sim::Duration()>;
 
   Cpu(sim::Simulator& sim, const CostModel& cost, int id);
 

@@ -1,5 +1,6 @@
 #include "kernel/host.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <utility>
@@ -170,13 +171,20 @@ void Host::add_overlay_route(std::uint32_t vni, net::MacAddr container_mac,
 
 void Host::container_egress(std::uint32_t vni, net::PacketBuf frame) {
   auto& bundle = bridges_.at(vni);
-  const auto eth = net::EthernetHeader::parse(frame.bytes());
-  if (!eth) return;  // malformed inner frame: dropped by the bridge
+  const auto bytes = frame.bytes();
+  if (bytes.size() < net::EthernetHeader::kSize) {
+    return;  // malformed inner frame: dropped by the bridge
+  }
+  // Only the destination MAC (first six bytes) selects the route; skip
+  // the full Ethernet parse.
+  net::MacAddr dst_mac;
+  std::copy_n(bytes.begin(), dst_mac.bytes.size(), dst_mac.bytes.begin());
 
   // Local destination: stays on this host's bridge (veth -> br -> veth).
   // The frame enters the bridge's gro_cell on the default RX CPU, going
   // through stages 2 and 3 like any received overlay packet.
-  if (bundle.routes.find(eth->dst) == bundle.routes.end()) {
+  const auto route = bundle.routes.find(dst_mac);
+  if (route == bundle.routes.end()) {
     deliver_local(bundle, std::move(frame));
     return;
   }
@@ -184,12 +192,11 @@ void Host::container_egress(std::uint32_t vni, net::PacketBuf frame) {
   // Remote destination: VXLAN-encapsulate and transmit. The outer UDP
   // source port carries inner-flow entropy, as the kernel's vxlan driver
   // computes it.
-  const auto& vtep = bundle.routes.at(eth->dst);
+  const auto& vtep = route->second;
   std::uint16_t entropy = 0xc000;
-  if (const auto inner = net::parse_frame(frame.bytes())) {
+  if (const auto inner = net::fast_flow(frame.bytes())) {
     entropy = static_cast<std::uint16_t>(
-        0xc000 | (std::hash<net::FiveTuple>{}(net::flow_of(*inner)) &
-                  0x3fff));
+        0xc000 | (std::hash<net::FiveTuple>{}(*inner) & 0x3fff));
   }
   net::FrameSpec outer;
   outer.src_mac = cfg_.mac;
@@ -204,10 +211,19 @@ void Host::container_egress(std::uint32_t vni, net::PacketBuf frame) {
 void Host::deliver_local(BridgeBundle& bundle, net::PacketBuf frame) {
   const int cpu_idx = default_rx_cpu();
   PerCpu& pc = *per_cpu_[static_cast<std::size_t>(cpu_idx)];
-  auto skb = std::make_unique<Skb>();
+  auto skb = alloc_skb();
+  skb->parsed.emplace();
+  if (!net::parse_frame_into(frame.bytes(), *skb->parsed)) {
+    skb->parsed.reset();
+  }
   const bool prism_mode = pc.engine->mode() != NapiMode::kVanilla;
-  if (prism_mode) {
-    skb->priority = priority_db_.classify(frame.bytes());
+  if (prism_mode && skb->parsed) {
+    // Locally built frames are never VXLAN-encapsulated, so the cached
+    // parse is the whole classification input; keep the byte-level
+    // classifier for the odd frame that happens to look encapsulated.
+    skb->priority = skb->parsed->is_vxlan()
+                        ? priority_db_.classify(frame.bytes())
+                        : priority_db_.classify(*skb->parsed, nullptr);
   }
   skb->ts.nic_rx = sim_.now();
   skb->ts.stage1_done = sim_.now();
@@ -237,7 +253,7 @@ std::size_t Host::max_udp_payload(
 
 void Host::udp_send(overlay::Netns& ns, Cpu& cpu, std::uint16_t src_port,
                     net::Ipv4Addr dst_ip, std::uint16_t dst_port,
-                    std::vector<std::uint8_t> payload,
+                    std::span<const std::uint8_t> payload,
                     std::function<void()> on_sent) {
   if (payload.size() > max_udp_payload(ns)) {
     throw std::invalid_argument(
@@ -249,18 +265,26 @@ void Host::udp_send(overlay::Netns& ns, Cpu& cpu, std::uint16_t src_port,
                        cfg_.cost.tx_per_packet;
   if (ns.is_container()) cost += cfg_.cost.tx_overlay_extra;
 
-  cpu.run_task(cost, [this, &ns, src_port, dst_ip, dst_port,
-                      payload = std::move(payload),
-                      on_sent = std::move(on_sent)] {
-    net::FrameSpec spec;
-    spec.src_mac = ns.mac();
-    spec.dst_mac = ns.neighbor(dst_ip);
-    spec.src_ip = ns.ip();
-    spec.dst_ip = dst_ip;
-    spec.src_port = src_port;
-    spec.dst_port = dst_port;
-    ns.egress(net::build_udp_frame(spec, payload));
-    if (on_sent) on_sent();
+  // Build the frame up front (the bytes don't depend on the send instant)
+  // so the queued work captures one pooled PacketBuf instead of a payload
+  // copy, and egress at the completion instant is a pure hand-off.
+  net::FrameSpec spec;
+  spec.src_mac = ns.mac();
+  spec.dst_mac = ns.neighbor(dst_ip);
+  spec.src_ip = ns.ip();
+  spec.dst_ip = dst_ip;
+  spec.src_port = src_port;
+  spec.dst_port = dst_port;
+  net::PacketBuf frame = net::build_udp_frame(spec, payload);
+
+  cpu.run_task_fn([this, &ns, cost, frame = std::move(frame),
+                   on_sent = std::move(on_sent)]() mutable {
+    sim_.schedule(cost, [&ns, frame = std::move(frame),
+                         on_sent = std::move(on_sent)]() mutable {
+      ns.egress(std::move(frame));
+      if (on_sent) on_sent();
+    });
+    return cost;
   });
 }
 

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -119,11 +120,13 @@ class Host {
 
   /// Sends one UDP datagram from `ns`, charging syscall/copy/egress costs
   /// to `cpu`. `on_sent` (optional) fires when the send syscall
-  /// completes. Throws std::invalid_argument if the payload exceeds the
-  /// path MTU (UDP fragmentation is out of scope; see DESIGN.md).
+  /// completes. The payload is copied into the frame before this call
+  /// returns, so the caller's buffer may be reused immediately. Throws
+  /// std::invalid_argument if the payload exceeds the path MTU (UDP
+  /// fragmentation is out of scope; see DESIGN.md).
   void udp_send(overlay::Netns& ns, Cpu& cpu, std::uint16_t src_port,
                 net::Ipv4Addr dst_ip, std::uint16_t dst_port,
-                std::vector<std::uint8_t> payload,
+                std::span<const std::uint8_t> payload,
                 std::function<void()> on_sent = {});
 
   /// Creates (and registers) an established-TCP endpoint in `ns`.

@@ -51,22 +51,42 @@ PollOutcome NicNapi::poll(int batch, sim::Time start) {
     if (!entry) break;
     ++out.processed;
 
-    const auto parsed = net::parse_frame(entry->frame.bytes());
-    if (!parsed) {
+    net::ParsedFrame parsed;
+    if (!net::parse_frame_into(entry->frame.bytes(), parsed)) {
       ++dropped_;
       out.cost += scaled(ctx_.cost->nic_stage_per_packet);
       continue;
     }
 
+    // Parse-once: for VXLAN frames the encapsulation header and the inner
+    // frame are parsed here, and the result is shared by classification,
+    // GRO keying, and (cached in the skb) every later pipeline stage.
+    // The inner spans point into the frame's storage, which survives the
+    // moves and the in-place decapsulation below.
+    std::optional<net::VxlanHeader> vxlan;
+    std::optional<net::ParsedFrame> inner;
+    if (parsed.is_vxlan()) {
+      vxlan = net::VxlanHeader::parse(parsed.l4_payload);
+      if (vxlan) {
+        inner.emplace();
+        if (!net::parse_frame_into(
+                parsed.l4_payload.subspan(net::VxlanHeader::kSize),
+                *inner)) {
+          inner.reset();
+        }
+      }
+    }
+
     // PRISM: classify once, at skb-allocation time.
     int level = 0;
     if (prism_mode && ctx_.priority_db != nullptr) {
-      level = ctx_.priority_db->classify(entry->frame.bytes());
+      level =
+          ctx_.priority_db->classify(parsed, inner ? &*inner : nullptr);
       out.cost += ctx_.cost->priority_check;
     }
     const bool high = level > 0;
 
-    auto skb = std::make_unique<Skb>();
+    auto skb = alloc_skb();
     skb->priority = level;
     skb->ts.nic_rx = entry->arrived;
 
@@ -74,8 +94,7 @@ PollOutcome NicNapi::poll(int batch, sim::Time start) {
     net::FiveTuple gro_key;
     bool gro_ok = false;
 
-    if (parsed->is_vxlan()) {
-      const auto vxlan = net::VxlanHeader::parse(parsed->l4_payload);
+    if (parsed.is_vxlan()) {
       QueueNapi* bridge =
           (vxlan && ctx_.vxlan_lookup) ? ctx_.vxlan_lookup(vxlan->vni)
                                        : nullptr;
@@ -86,25 +105,24 @@ PollOutcome NicNapi::poll(int batch, sim::Time start) {
       }
       // Decapsulate: strip outer Ethernet/IPv4/UDP/VXLAN in place.
       skb->buf = std::move(entry->frame);
-      skb->buf.pop_front(parsed->l4_payload_offset +
+      skb->buf.pop_front(parsed.l4_payload_offset +
                          net::VxlanHeader::kSize);
       route.bridge = bridge;
       skb->stage = 2;
-      if (!high) {
-        const auto inner = net::parse_frame(skb->buf.bytes());
-        if (inner && inner->tcp && !inner->l4_payload.empty()) {
-          gro_key = net::flow_of(*inner);
-          gro_ok = true;
-        }
+      if (!high && inner && inner->tcp && !inner->l4_payload.empty()) {
+        gro_key = net::flow_of(*inner);
+        gro_ok = true;
       }
-    } else if (parsed->ip.dst == ctx_.root_ns->ip()) {
+      skb->parsed = std::move(inner);  // parse of the decapsulated bytes
+    } else if (parsed.ip.dst == ctx_.root_ns->ip()) {
       skb->buf = std::move(entry->frame);
       route.host_path = true;
       skb->stage = 1;
-      if (!high && parsed->tcp && !parsed->l4_payload.empty()) {
-        gro_key = net::flow_of(*parsed);
+      if (!high && parsed.tcp && !parsed.l4_payload.empty()) {
+        gro_key = net::flow_of(parsed);
         gro_ok = true;
       }
+      skb->parsed = std::move(parsed);
     } else {
       ++dropped_;
       out.cost += scaled(ctx_.cost->nic_stage_per_packet);

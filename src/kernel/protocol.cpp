@@ -1,6 +1,9 @@
 #include "kernel/protocol.h"
 
+#include <algorithm>
+
 #include "kernel/socket.h"
+#include "sim/pool.h"
 #include "kernel/tcp.h"
 #include "net/flow.h"
 #include "overlay/netns.h"
@@ -11,9 +14,10 @@ sim::Duration SocketDeliverer::deliver(Skb& skb, sim::Time at,
                                        overlay::Netns& ns) {
   skb.ts.socket_enqueue = at;
   sim::Duration extra =
-      deliver_frame(skb, skb.buf.bytes(), at, ns, skb.gro_chain.empty());
+      deliver_frame(skb, skb.buf.bytes(), skb.parsed ? &*skb.parsed : nullptr,
+                    at, ns, skb.gro_chain.empty());
   for (std::size_t i = 0; i < skb.gro_chain.size(); ++i) {
-    extra += deliver_frame(skb, skb.gro_chain[i].bytes(), at, ns,
+    extra += deliver_frame(skb, skb.gro_chain[i].bytes(), nullptr, at, ns,
                            i + 1 == skb.gro_chain.size());
   }
   if (trace_) trace_->on_delivered(skb, at);
@@ -21,9 +25,14 @@ sim::Duration SocketDeliverer::deliver(Skb& skb, sim::Time at,
 }
 
 sim::Duration SocketDeliverer::deliver_frame(
-    const Skb& skb, std::span<const std::uint8_t> frame, sim::Time at,
-    overlay::Netns& ns, bool final_frame) {
-  const auto parsed = net::parse_frame(frame);
+    const Skb& skb, std::span<const std::uint8_t> frame,
+    const net::ParsedFrame* pre_parsed, sim::Time at, overlay::Netns& ns,
+    bool final_frame) {
+  net::ParsedFrame local;
+  if (pre_parsed == nullptr && net::parse_frame_into(frame, local)) {
+    pre_parsed = &local;
+  }
+  const auto* parsed = pre_parsed;
   if (!parsed) {
     ++drops_;
     return 0;
@@ -37,7 +46,9 @@ sim::Duration SocketDeliverer::deliver_frame(
     Datagram d;
     d.src_ip = parsed->ip.src;
     d.src_port = parsed->udp->src_port;
-    d.payload.assign(parsed->l4_payload.begin(), parsed->l4_payload.end());
+    d.payload = sim::BufferPool::instance().acquire(parsed->l4_payload.size());
+    std::copy(parsed->l4_payload.begin(), parsed->l4_payload.end(),
+              d.payload.begin());
     d.enqueued_at = at;
     d.high_priority = skb.high_priority();
     d.ts = skb.ts;

@@ -39,8 +39,11 @@ class SocketDeliverer {
   std::uint64_t delivered() const noexcept { return delivered_; }
 
  private:
+  /// `pre_parsed` (optional) is the caller's existing parse of `frame` —
+  /// the skb's cached head-frame parse — reused instead of re-parsing.
   sim::Duration deliver_frame(const Skb& skb,
                               std::span<const std::uint8_t> frame,
+                              const net::ParsedFrame* pre_parsed,
                               sim::Time at, overlay::Netns& ns,
                               bool final_frame);
 

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "net/packet.h"
@@ -58,9 +59,29 @@ struct Skb {
   /// in the pipeline).
   int stage = 0;
 
+  /// Parse of the current `buf` bytes, cached where the packet enters the
+  /// pipeline so later stages (bridge FDB lookup, socket delivery) reuse
+  /// it instead of re-parsing. The spans point into `buf`'s storage and
+  /// are invalidated by any mutation of `buf`.
+  std::optional<net::ParsedFrame> parsed;
+
   SkbTimestamps ts;
 };
 
-using SkbPtr = std::unique_ptr<Skb>;
+/// Deleter that hands the Skb back to the process-global SkbPool
+/// (kernel/skb_pool.h) instead of freeing it. Stateless, so SkbPtr can be
+/// re-materialised from a raw pointer (`SkbPtr(raw)`) after a release().
+struct SkbRecycler {
+  void operator()(Skb* skb) const noexcept;
+};
+
+/// Owning handle to an Skb; dropping it recycles the skb (and the packet
+/// storage it carries) for the next packet.
+using SkbPtr = std::unique_ptr<Skb, SkbRecycler>;
+
+/// Allocates an skb from the slab pool — the mandatory allocation path
+/// (the pool's hit-rate counters are how benchmarks prove the hot loop is
+/// allocation-free).
+SkbPtr alloc_skb();
 
 }  // namespace prism::kernel

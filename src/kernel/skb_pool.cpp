@@ -1,0 +1,34 @@
+#include "kernel/skb_pool.h"
+
+namespace prism::kernel {
+
+SkbPool& SkbPool::instance() noexcept {
+  // Intentionally leaked, same rationale as sim::BufferPool::instance().
+  static SkbPool* pool = new SkbPool();
+  return *pool;
+}
+
+SkbPool::Handle SkbPool::acquire() { return Handle(pool_.acquire()); }
+
+void SkbPool::release(Skb* skb) {
+  // Scrub back to the default-constructed state. The PacketBuf assignments
+  // recycle the byte storage into the BufferPool; gro_chain keeps its
+  // vector capacity (clear, not shrink) so re-merging costs nothing.
+  skb->buf = net::PacketBuf{};
+  skb->priority = 0;
+  skb->segments = 1;
+  skb->gro_chain.clear();
+  skb->dst_netns = nullptr;
+  skb->stage = 0;
+  skb->parsed.reset();
+  skb->ts = SkbTimestamps{};
+  pool_.release(skb);
+}
+
+void SkbRecycler::operator()(Skb* skb) const noexcept {
+  if (skb != nullptr) SkbPool::instance().release(skb);
+}
+
+SkbPtr alloc_skb() { return SkbPool::instance().acquire(); }
+
+}  // namespace prism::kernel

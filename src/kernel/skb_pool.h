@@ -1,0 +1,51 @@
+// Slab recycler for Skb objects, the simulator's skbuff_head_cache.
+//
+// The real kernel allocates sk_buffs from a dedicated slab cache precisely
+// because the general allocator is too slow for per-packet churn; this
+// pool plays the same role for the simulated stack. alloc_skb() pops a
+// scrubbed skb off the free list and the SkbRecycler deleter pushes it
+// back, so the steady-state packet loop never calls new/delete for skbs.
+#pragma once
+
+#include <cstddef>
+
+#include "kernel/skb.h"
+#include "sim/pool.h"
+
+namespace prism::kernel {
+
+/// Process-global free-list recycler for Skb.
+class SkbPool {
+ public:
+  /// RAII handle returned by acquire(); identical to kernel::SkbPtr.
+  using Handle = SkbPtr;
+
+  /// The process-global instance (never destroyed: SkbPtrs with static
+  /// storage duration may release during shutdown).
+  static SkbPool& instance() noexcept;
+
+  /// Returns a scrubbed skb, recycled when the free list has one.
+  Handle acquire();
+
+  /// Scrubs `skb` (packet storage goes back to the BufferPool, metadata
+  /// resets to defaults) and parks it for reuse. Called by SkbRecycler.
+  void release(Skb* skb);
+
+  /// A disabled pool degrades to plain new/delete (determinism A/B tests
+  /// compare runs with the pool on and off).
+  void set_enabled(bool enabled) { pool_.set_enabled(enabled); }
+  bool enabled() const noexcept { return pool_.enabled(); }
+
+  /// Frees every parked skb.
+  void trim() { pool_.trim(); }
+
+  std::size_t free_objects() const noexcept { return pool_.free_objects(); }
+
+  const sim::PoolStats& stats() const noexcept { return pool_.stats(); }
+  void reset_stats() noexcept { pool_.reset_stats(); }
+
+ private:
+  sim::ObjectPool<Skb> pool_;
+};
+
+}  // namespace prism::kernel

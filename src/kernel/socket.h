@@ -16,6 +16,7 @@
 #include "kernel/skb.h"
 #include "net/flow.h"
 #include "net/ip.h"
+#include "sim/pool.h"
 #include "sim/simulator.h"
 
 namespace prism::kernel {
@@ -23,6 +24,10 @@ namespace prism::kernel {
 class TcpEndpoint;
 
 /// One received datagram as seen above the socket layer.
+///
+/// The payload's storage is recycled through sim::BufferPool when the
+/// datagram is destroyed, so the deliver -> recv -> drop cycle of the
+/// steady state reuses one heap block per in-flight datagram.
 struct Datagram {
   net::Ipv4Addr src_ip;
   std::uint16_t src_port = 0;
@@ -30,6 +35,13 @@ struct Datagram {
   sim::Time enqueued_at = 0;   ///< instant it entered the socket buffer
   bool high_priority = false;  ///< PRISM classification (diagnostic)
   SkbTimestamps ts;            ///< pipeline timestamps (diagnostic)
+
+  Datagram() = default;
+  Datagram(const Datagram&) = default;
+  Datagram& operator=(const Datagram&) = default;
+  Datagram(Datagram&&) = default;
+  Datagram& operator=(Datagram&&) = default;
+  ~Datagram() { sim::BufferPool::instance().release(std::move(payload)); }
 };
 
 /// UDP socket with a bounded receive buffer.

@@ -5,31 +5,100 @@
 // they would be by a real one.
 #pragma once
 
+#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <span>
 
 namespace prism::net {
 
-/// One's-complement 16-bit Internet checksum over `data`. Returns the value
-/// to store in a header checksum field (i.e. already complemented).
-/// Verifying: checksum over a buffer with a correct embedded checksum
-/// yields 0.
-std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept;
-
 /// Incremental accumulator, used for pseudo-header + payload sums (UDP/TCP).
+/// Fully inline: the checksum runs several times per simulated packet.
 class ChecksumAccumulator {
  public:
-  void add(std::span<const std::uint8_t> data) noexcept;
-  void add_u16(std::uint16_t value) noexcept;
-  void add_u32(std::uint32_t value) noexcept;
+  void add(std::span<const std::uint8_t> data) noexcept {
+    std::size_t i = 0;
+    if (odd_ && !data.empty()) {
+      // Complete the pending odd byte: it was the high octet of a 16-bit
+      // word, this byte is the low octet.
+      sum_ += data[0];
+      odd_ = false;
+      i = 1;
+    }
+    if constexpr (std::endian::native == std::endian::little) {
+      // Fast path: fold eight bytes per step. The one's-complement sum is
+      // endian-agnostic up to a final byte swap, so the chunks are summed
+      // as native little-endian 16-bit words and the folded partial sum is
+      // swapped once into the big-endian word arithmetic the RFC uses. Two
+      // independent accumulators break the add dependency chain.
+      std::uint64_t lo = 0;
+      std::uint64_t hi = 0;
+      for (; i + 16 <= data.size(); i += 16) {
+        std::uint64_t w0;
+        std::uint64_t w1;
+        std::memcpy(&w0, data.data() + i, 8);
+        std::memcpy(&w1, data.data() + i + 8, 8);
+        lo += (w0 & 0xffffffffu) + (w0 >> 32);
+        hi += (w1 & 0xffffffffu) + (w1 >> 32);
+      }
+      for (; i + 8 <= data.size(); i += 8) {
+        std::uint64_t w;
+        std::memcpy(&w, data.data() + i, 8);
+        lo += (w & 0xffffffffu) + (w >> 32);
+      }
+      std::uint64_t local = lo + hi;
+      if (local != 0) {
+        while (local >> 16) local = (local & 0xffff) + (local >> 16);
+        sum_ += ((local & 0xff) << 8) | (local >> 8);
+      }
+    }
+    for (; i + 1 < data.size(); i += 2) {
+      sum_ += (static_cast<std::uint32_t>(data[i]) << 8) | data[i + 1];
+    }
+    if (i < data.size()) {
+      sum_ += static_cast<std::uint32_t>(data[i]) << 8;
+      odd_ = true;
+    }
+  }
+
+  void add_u16(std::uint16_t value) noexcept {
+    if (!odd_) {
+      sum_ += value;
+    } else {
+      // The pending odd byte is the high octet of the current word: this
+      // value's high octet completes it, its low octet starts the next.
+      sum_ += value >> 8;
+      sum_ += static_cast<std::uint32_t>(value & 0xff) << 8;
+    }
+  }
+
+  void add_u32(std::uint32_t value) noexcept {
+    add_u16(static_cast<std::uint16_t>(value >> 16));
+    add_u16(static_cast<std::uint16_t>(value));
+  }
 
   /// Finalized (complemented) checksum.
-  std::uint16_t finish() const noexcept;
+  std::uint16_t finish() const noexcept {
+    std::uint64_t s = sum_;
+    while (s >> 16) s = (s & 0xffff) + (s >> 16);
+    return static_cast<std::uint16_t>(~s);
+  }
 
  private:
   std::uint64_t sum_ = 0;
   bool odd_ = false;  // true when an odd byte is pending
 };
+
+/// One's-complement 16-bit Internet checksum over `data`. Returns the value
+/// to store in a header checksum field (i.e. already complemented).
+/// Verifying: checksum over a buffer with a correct embedded checksum
+/// yields 0.
+inline std::uint16_t internet_checksum(
+    std::span<const std::uint8_t> data) noexcept {
+  ChecksumAccumulator acc;
+  acc.add(data);
+  return acc.finish();
+}
 
 }  // namespace prism::net

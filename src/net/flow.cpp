@@ -11,6 +11,30 @@ std::string FiveTuple::to_string() const {
          std::to_string(dst_port);
 }
 
+std::optional<FiveTuple> fast_flow(
+    std::span<const std::uint8_t> frame) noexcept {
+  constexpr std::size_t kL4Offset = EthernetHeader::kSize + Ipv4Header::kSize;
+  if (frame.size() < kL4Offset) return std::nullopt;
+  if (frame[12] != 0x08 || frame[13] != 0x00) return std::nullopt;  // !IPv4
+
+  FiveTuple f;
+  f.protocol = static_cast<IpProto>(frame[23]);
+  f.src_ip.value = (std::uint32_t{frame[26]} << 24) |
+                   (std::uint32_t{frame[27]} << 16) |
+                   (std::uint32_t{frame[28]} << 8) | frame[29];
+  f.dst_ip.value = (std::uint32_t{frame[30]} << 24) |
+                   (std::uint32_t{frame[31]} << 16) |
+                   (std::uint32_t{frame[32]} << 8) | frame[33];
+  if ((f.protocol == IpProto::kUdp || f.protocol == IpProto::kTcp) &&
+      frame.size() >= kL4Offset + 4) {
+    f.src_port = static_cast<std::uint16_t>(
+        (std::uint16_t{frame[kL4Offset]} << 8) | frame[kL4Offset + 1]);
+    f.dst_port = static_cast<std::uint16_t>(
+        (std::uint16_t{frame[kL4Offset + 2]} << 8) | frame[kL4Offset + 3]);
+  }
+  return f;
+}
+
 FiveTuple flow_of(const ParsedFrame& frame) {
   FiveTuple f;
   f.src_ip = frame.ip.src;

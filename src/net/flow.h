@@ -5,6 +5,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <span>
 #include <string>
 
 #include "net/headers.h"
@@ -33,6 +35,13 @@ struct FiveTuple {
 /// Extracts the 5-tuple from a parsed frame. Ports are zero for
 /// non-UDP/TCP protocols.
 FiveTuple flow_of(const struct ParsedFrame& frame);
+
+/// Extracts the 5-tuple straight from frame bytes without the checksum
+/// verification a full parse performs — for hot paths (e.g. VXLAN source
+/// port entropy) that only hash the flow of frames the local stack just
+/// built. Returns nullopt for non-IPv4 or truncated frames.
+std::optional<FiveTuple> fast_flow(
+    std::span<const std::uint8_t> frame) noexcept;
 
 }  // namespace prism::net
 

@@ -4,218 +4,31 @@
 
 namespace prism::net {
 
-namespace {
-
-void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
-  out.push_back(static_cast<std::uint8_t>(v >> 8));
-  out.push_back(static_cast<std::uint8_t>(v));
-}
-
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  put_u16(out, static_cast<std::uint16_t>(v >> 16));
-  put_u16(out, static_cast<std::uint16_t>(v));
-}
-
-std::uint16_t get_u16(std::span<const std::uint8_t> d, std::size_t at) {
-  return static_cast<std::uint16_t>((d[at] << 8) | d[at + 1]);
-}
-
-std::uint32_t get_u32(std::span<const std::uint8_t> d, std::size_t at) {
-  return (static_cast<std::uint32_t>(get_u16(d, at)) << 16) |
-         get_u16(d, at + 2);
-}
-
-// Adds the IPv4 pseudo-header for UDP/TCP checksums.
-void add_pseudo_header(ChecksumAccumulator& acc, Ipv4Addr src, Ipv4Addr dst,
-                       IpProto proto, std::uint16_t l4_length) {
-  acc.add_u32(src.value);
-  acc.add_u32(dst.value);
-  acc.add_u16(static_cast<std::uint16_t>(proto));
-  acc.add_u16(l4_length);
-}
-
-}  // namespace
-
-// ---------------------------------------------------------------- Ethernet
-
-void EthernetHeader::serialize(std::vector<std::uint8_t>& out) const {
-  out.insert(out.end(), dst.bytes.begin(), dst.bytes.end());
-  out.insert(out.end(), src.bytes.begin(), src.bytes.end());
-  put_u16(out, static_cast<std::uint16_t>(ether_type));
-}
-
-std::optional<EthernetHeader> EthernetHeader::parse(
-    std::span<const std::uint8_t> data) {
-  if (data.size() < kSize) return std::nullopt;
-  EthernetHeader h;
-  std::copy(data.begin(), data.begin() + 6, h.dst.bytes.begin());
-  std::copy(data.begin() + 6, data.begin() + 12, h.src.bytes.begin());
-  h.ether_type = static_cast<EtherType>(get_u16(data, 12));
-  return h;
-}
-
-// -------------------------------------------------------------------- IPv4
-
-void Ipv4Header::serialize(std::vector<std::uint8_t>& out) const {
-  const std::size_t start = out.size();
-  out.push_back(0x45);  // version 4, IHL 5
-  out.push_back(static_cast<std::uint8_t>(dscp << 2));
-  put_u16(out, total_length);
-  put_u16(out, identification);
-  put_u16(out, 0);  // flags + fragment offset (DF handled by TSO model)
-  out.push_back(ttl);
-  out.push_back(static_cast<std::uint8_t>(protocol));
-  put_u16(out, 0);  // checksum placeholder
-  put_u32(out, src.value);
-  put_u32(out, dst.value);
-  const std::uint16_t csum = internet_checksum(
-      std::span<const std::uint8_t>(out.data() + start, kSize));
-  out[start + 10] = static_cast<std::uint8_t>(csum >> 8);
-  out[start + 11] = static_cast<std::uint8_t>(csum);
-}
-
-std::optional<Ipv4Header> Ipv4Header::parse(
-    std::span<const std::uint8_t> data) {
-  if (data.size() < kSize) return std::nullopt;
-  if ((data[0] >> 4) != 4) return std::nullopt;
-  if ((data[0] & 0x0f) != 5) return std::nullopt;  // options unsupported
-  if (internet_checksum(data.first(kSize)) != 0) return std::nullopt;
-  Ipv4Header h;
-  h.dscp = static_cast<std::uint8_t>(data[1] >> 2);
-  h.total_length = get_u16(data, 2);
-  h.identification = get_u16(data, 4);
-  h.ttl = data[8];
-  h.protocol = static_cast<IpProto>(data[9]);
-  h.src = Ipv4Addr{get_u32(data, 12)};
-  h.dst = Ipv4Addr{get_u32(data, 16)};
-  if (h.total_length < kSize || h.total_length > data.size()) {
-    return std::nullopt;
-  }
-  return h;
-}
-
-// --------------------------------------------------------------------- UDP
-
-void UdpHeader::serialize(std::vector<std::uint8_t>& out, Ipv4Addr src_ip,
-                          Ipv4Addr dst_ip,
-                          std::span<const std::uint8_t> payload) const {
-  ChecksumAccumulator acc;
-  add_pseudo_header(acc, src_ip, dst_ip, IpProto::kUdp, length);
-  acc.add_u16(src_port);
-  acc.add_u16(dst_port);
-  acc.add_u16(length);
-  acc.add_u16(0);
-  acc.add(payload);
-  std::uint16_t csum = acc.finish();
-  if (csum == 0) csum = 0xffff;  // RFC 768: 0 means "no checksum"
-
-  put_u16(out, src_port);
-  put_u16(out, dst_port);
-  put_u16(out, length);
-  put_u16(out, csum);
-}
-
-std::optional<UdpHeader> UdpHeader::parse(
-    std::span<const std::uint8_t> data) {
-  if (data.size() < kSize) return std::nullopt;
-  UdpHeader h;
-  h.src_port = get_u16(data, 0);
-  h.dst_port = get_u16(data, 2);
-  h.length = get_u16(data, 4);
-  if (h.length < kSize || h.length > data.size()) return std::nullopt;
-  return h;
-}
+// The per-packet codecs are inline in headers.h; only the cold checksum
+// verifiers (used by corruption tests and diagnostic paths) live here.
 
 bool UdpHeader::verify_checksum(std::span<const std::uint8_t> datagram,
                                 Ipv4Addr src_ip, Ipv4Addr dst_ip) {
   if (datagram.size() < kSize) return false;
-  const std::uint16_t stored = get_u16(datagram, 6);
+  const std::uint16_t stored = detail::get_u16(datagram, 6);
   if (stored == 0) return true;  // checksum not used
   ChecksumAccumulator acc;
-  add_pseudo_header(acc, src_ip, dst_ip, IpProto::kUdp,
-                    static_cast<std::uint16_t>(datagram.size()));
+  detail::add_pseudo_header(acc, src_ip, dst_ip, IpProto::kUdp,
+                            static_cast<std::uint16_t>(datagram.size()));
   acc.add(datagram);
   // Sum over a datagram with a valid checksum folds to zero, i.e. finish()
   // (which complements) yields 0 or the sum equals 0xffff pre-complement.
   return acc.finish() == 0;
 }
 
-// --------------------------------------------------------------------- TCP
-
-void TcpHeader::serialize(std::vector<std::uint8_t>& out, Ipv4Addr src_ip,
-                          Ipv4Addr dst_ip,
-                          std::span<const std::uint8_t> payload) const {
-  const auto l4_length =
-      static_cast<std::uint16_t>(kSize + payload.size());
-  ChecksumAccumulator acc;
-  add_pseudo_header(acc, src_ip, dst_ip, IpProto::kTcp, l4_length);
-  acc.add_u16(src_port);
-  acc.add_u16(dst_port);
-  acc.add_u32(seq);
-  acc.add_u32(ack);
-  acc.add_u16(static_cast<std::uint16_t>((5u << 12) | flags));
-  acc.add_u16(window);
-  acc.add_u16(0);  // checksum placeholder
-  acc.add_u16(0);  // urgent pointer
-  acc.add(payload);
-  const std::uint16_t csum = acc.finish();
-
-  put_u16(out, src_port);
-  put_u16(out, dst_port);
-  put_u32(out, seq);
-  put_u32(out, ack);
-  put_u16(out, static_cast<std::uint16_t>((5u << 12) | flags));
-  put_u16(out, window);
-  put_u16(out, csum);
-  put_u16(out, 0);
-}
-
-std::optional<TcpHeader> TcpHeader::parse(
-    std::span<const std::uint8_t> data) {
-  if (data.size() < kSize) return std::nullopt;
-  const std::uint16_t off_flags = get_u16(data, 12);
-  if ((off_flags >> 12) != 5) return std::nullopt;  // options unsupported
-  TcpHeader h;
-  h.src_port = get_u16(data, 0);
-  h.dst_port = get_u16(data, 2);
-  h.seq = get_u32(data, 4);
-  h.ack = get_u32(data, 8);
-  h.flags = static_cast<std::uint8_t>(off_flags & 0x3f);
-  h.window = get_u16(data, 14);
-  return h;
-}
-
 bool TcpHeader::verify_checksum(std::span<const std::uint8_t> segment,
                                 Ipv4Addr src_ip, Ipv4Addr dst_ip) {
   if (segment.size() < kSize) return false;
   ChecksumAccumulator acc;
-  add_pseudo_header(acc, src_ip, dst_ip, IpProto::kTcp,
-                    static_cast<std::uint16_t>(segment.size()));
+  detail::add_pseudo_header(acc, src_ip, dst_ip, IpProto::kTcp,
+                            static_cast<std::uint16_t>(segment.size()));
   acc.add(segment);
   return acc.finish() == 0;
-}
-
-// ------------------------------------------------------------------- VXLAN
-
-void VxlanHeader::serialize(std::vector<std::uint8_t>& out) const {
-  out.push_back(0x08);  // flags: valid VNI
-  out.push_back(0);
-  out.push_back(0);
-  out.push_back(0);
-  out.push_back(static_cast<std::uint8_t>(vni >> 16));
-  out.push_back(static_cast<std::uint8_t>(vni >> 8));
-  out.push_back(static_cast<std::uint8_t>(vni));
-  out.push_back(0);
-}
-
-std::optional<VxlanHeader> VxlanHeader::parse(
-    std::span<const std::uint8_t> data) {
-  if (data.size() < kSize) return std::nullopt;
-  if ((data[0] & 0x08) == 0) return std::nullopt;  // VNI flag required
-  VxlanHeader h;
-  h.vni = (static_cast<std::uint32_t>(data[4]) << 16) |
-          (static_cast<std::uint32_t>(data[5]) << 8) | data[6];
-  return h;
 }
 
 }  // namespace prism::net

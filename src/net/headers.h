@@ -7,11 +7,13 @@
 // kernel.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "net/checksum.h"
 #include "net/ip.h"
 #include "net/mac.h"
 
@@ -76,6 +78,11 @@ struct UdpHeader {
                  Ipv4Addr dst_ip,
                  std::span<const std::uint8_t> payload) const;
 
+  /// Serializes with checksum zero ("no checksum", RFC 768). VXLAN outer
+  /// headers use this: RFC 7348 says the outer UDP checksum SHOULD be
+  /// transmitted as zero, which is what Linux does by default.
+  void serialize_no_checksum(std::vector<std::uint8_t>& out) const;
+
   /// Parses the header. Checksum verification is separate (verify_checksum)
   /// because it needs the pseudo-header addresses.
   static std::optional<UdpHeader> parse(std::span<const std::uint8_t> data);
@@ -125,5 +132,253 @@ struct VxlanHeader {
   /// Returns nullopt on short buffer or missing valid-VNI flag.
   static std::optional<VxlanHeader> parse(std::span<const std::uint8_t> data);
 };
+
+// ---------------------------------------------------------------------------
+// Inline definitions. The codecs run several times per simulated packet, so
+// they are defined here (rather than in headers.cpp) to inline into the
+// parse/build loops of other translation units.
+
+namespace detail {
+
+inline void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v));
+}
+
+// Appends `n` bytes to `out` via resize+copy. (Equivalent to
+// vector::insert at end(), but dodges a GCC 12 -Warray-bounds false
+// positive in the insert-into-empty-vector grow path.)
+inline void append_bytes(std::vector<std::uint8_t>& out,
+                         const std::uint8_t* b, std::size_t n) {
+  const std::size_t at = out.size();
+  out.resize(at + n);
+  std::copy(b, b + n, out.begin() + static_cast<std::ptrdiff_t>(at));
+}
+
+inline std::uint16_t get_u16(std::span<const std::uint8_t> d,
+                             std::size_t at) {
+  return static_cast<std::uint16_t>((d[at] << 8) | d[at + 1]);
+}
+
+inline std::uint32_t get_u32(std::span<const std::uint8_t> d,
+                             std::size_t at) {
+  return (static_cast<std::uint32_t>(get_u16(d, at)) << 16) |
+         get_u16(d, at + 2);
+}
+
+// Adds the IPv4 pseudo-header for UDP/TCP checksums.
+inline void add_pseudo_header(ChecksumAccumulator& acc, Ipv4Addr src,
+                              Ipv4Addr dst, IpProto proto,
+                              std::uint16_t l4_length) {
+  acc.add_u32(src.value);
+  acc.add_u32(dst.value);
+  acc.add_u16(static_cast<std::uint16_t>(proto));
+  acc.add_u16(l4_length);
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------- Ethernet
+
+inline void EthernetHeader::serialize(std::vector<std::uint8_t>& out) const {
+  std::uint8_t b[kSize];
+  std::copy(dst.bytes.begin(), dst.bytes.end(), b);
+  std::copy(src.bytes.begin(), src.bytes.end(), b + 6);
+  const auto type = static_cast<std::uint16_t>(ether_type);
+  b[12] = static_cast<std::uint8_t>(type >> 8);
+  b[13] = static_cast<std::uint8_t>(type);
+  detail::append_bytes(out, b, kSize);
+}
+
+inline std::optional<EthernetHeader> EthernetHeader::parse(
+    std::span<const std::uint8_t> data) {
+  if (data.size() < kSize) return std::nullopt;
+  EthernetHeader h;
+  std::copy(data.begin(), data.begin() + 6, h.dst.bytes.begin());
+  std::copy(data.begin() + 6, data.begin() + 12, h.src.bytes.begin());
+  h.ether_type = static_cast<EtherType>(detail::get_u16(data, 12));
+  return h;
+}
+
+// -------------------------------------------------------------------- IPv4
+
+inline void Ipv4Header::serialize(std::vector<std::uint8_t>& out) const {
+  const auto proto = static_cast<std::uint8_t>(protocol);
+  // Header checksum computed directly from the fields: the one's-complement
+  // sum of the ten 16-bit header words (checksum word zero), exactly what
+  // internet_checksum() would produce over the serialized bytes.
+  std::uint32_t s = (0x4500u | (static_cast<std::uint32_t>(dscp) << 2)) +
+                    total_length + identification +
+                    ((static_cast<std::uint32_t>(ttl) << 8) | proto) +
+                    (src.value >> 16) + (src.value & 0xffff) +
+                    (dst.value >> 16) + (dst.value & 0xffff);
+  s = (s & 0xffff) + (s >> 16);
+  s = (s & 0xffff) + (s >> 16);
+  const auto csum = static_cast<std::uint16_t>(~s);
+
+  std::uint8_t b[kSize];
+  b[0] = 0x45;  // version 4, IHL 5
+  b[1] = static_cast<std::uint8_t>(dscp << 2);
+  b[2] = static_cast<std::uint8_t>(total_length >> 8);
+  b[3] = static_cast<std::uint8_t>(total_length);
+  b[4] = static_cast<std::uint8_t>(identification >> 8);
+  b[5] = static_cast<std::uint8_t>(identification);
+  b[6] = 0;  // flags + fragment offset (DF handled by TSO)
+  b[7] = 0;
+  b[8] = ttl;
+  b[9] = proto;
+  b[10] = static_cast<std::uint8_t>(csum >> 8);
+  b[11] = static_cast<std::uint8_t>(csum);
+  b[12] = static_cast<std::uint8_t>(src.value >> 24);
+  b[13] = static_cast<std::uint8_t>(src.value >> 16);
+  b[14] = static_cast<std::uint8_t>(src.value >> 8);
+  b[15] = static_cast<std::uint8_t>(src.value);
+  b[16] = static_cast<std::uint8_t>(dst.value >> 24);
+  b[17] = static_cast<std::uint8_t>(dst.value >> 16);
+  b[18] = static_cast<std::uint8_t>(dst.value >> 8);
+  b[19] = static_cast<std::uint8_t>(dst.value);
+  detail::append_bytes(out, b, kSize);
+}
+
+inline std::optional<Ipv4Header> Ipv4Header::parse(
+    std::span<const std::uint8_t> data) {
+  if (data.size() < kSize) return std::nullopt;
+  if ((data[0] >> 4) != 4) return std::nullopt;
+  if ((data[0] & 0x0f) != 5) return std::nullopt;  // options unsupported
+  if (internet_checksum(data.first(kSize)) != 0) return std::nullopt;
+  Ipv4Header h;
+  h.dscp = static_cast<std::uint8_t>(data[1] >> 2);
+  h.total_length = detail::get_u16(data, 2);
+  h.identification = detail::get_u16(data, 4);
+  h.ttl = data[8];
+  h.protocol = static_cast<IpProto>(data[9]);
+  h.src = Ipv4Addr{detail::get_u32(data, 12)};
+  h.dst = Ipv4Addr{detail::get_u32(data, 16)};
+  if (h.total_length < kSize || h.total_length > data.size()) {
+    return std::nullopt;
+  }
+  return h;
+}
+
+// --------------------------------------------------------------------- UDP
+
+inline void UdpHeader::serialize(std::vector<std::uint8_t>& out,
+                                 Ipv4Addr src_ip, Ipv4Addr dst_ip,
+                                 std::span<const std::uint8_t> payload) const {
+  ChecksumAccumulator acc;
+  detail::add_pseudo_header(acc, src_ip, dst_ip, IpProto::kUdp, length);
+  acc.add_u16(src_port);
+  acc.add_u16(dst_port);
+  acc.add_u16(length);
+  acc.add_u16(0);
+  acc.add(payload);
+  std::uint16_t csum = acc.finish();
+  if (csum == 0) csum = 0xffff;  // RFC 768: 0 means "no checksum"
+
+  std::uint8_t b[kSize];
+  b[0] = static_cast<std::uint8_t>(src_port >> 8);
+  b[1] = static_cast<std::uint8_t>(src_port);
+  b[2] = static_cast<std::uint8_t>(dst_port >> 8);
+  b[3] = static_cast<std::uint8_t>(dst_port);
+  b[4] = static_cast<std::uint8_t>(length >> 8);
+  b[5] = static_cast<std::uint8_t>(length);
+  b[6] = static_cast<std::uint8_t>(csum >> 8);
+  b[7] = static_cast<std::uint8_t>(csum);
+  detail::append_bytes(out, b, kSize);
+}
+
+inline void UdpHeader::serialize_no_checksum(
+    std::vector<std::uint8_t>& out) const {
+  detail::put_u16(out, src_port);
+  detail::put_u16(out, dst_port);
+  detail::put_u16(out, length);
+  detail::put_u16(out, 0);  // RFC 768: 0 means "no checksum"
+}
+
+inline std::optional<UdpHeader> UdpHeader::parse(
+    std::span<const std::uint8_t> data) {
+  if (data.size() < kSize) return std::nullopt;
+  UdpHeader h;
+  h.src_port = detail::get_u16(data, 0);
+  h.dst_port = detail::get_u16(data, 2);
+  h.length = detail::get_u16(data, 4);
+  if (h.length < kSize || h.length > data.size()) return std::nullopt;
+  return h;
+}
+
+// --------------------------------------------------------------------- TCP
+
+inline void TcpHeader::serialize(std::vector<std::uint8_t>& out,
+                                 Ipv4Addr src_ip, Ipv4Addr dst_ip,
+                                 std::span<const std::uint8_t> payload) const {
+  const auto l4_length = static_cast<std::uint16_t>(kSize + payload.size());
+  ChecksumAccumulator acc;
+  detail::add_pseudo_header(acc, src_ip, dst_ip, IpProto::kTcp, l4_length);
+  acc.add_u16(src_port);
+  acc.add_u16(dst_port);
+  acc.add_u32(seq);
+  acc.add_u32(ack);
+  acc.add_u16(static_cast<std::uint16_t>((5u << 12) | flags));
+  acc.add_u16(window);
+  acc.add_u16(0);  // checksum placeholder
+  acc.add_u16(0);  // urgent pointer
+  acc.add(payload);
+  const std::uint16_t csum = acc.finish();
+
+  detail::put_u16(out, src_port);
+  detail::put_u16(out, dst_port);
+  detail::put_u32(out, seq);
+  detail::put_u32(out, ack);
+  detail::put_u16(out, static_cast<std::uint16_t>((5u << 12) | flags));
+  detail::put_u16(out, window);
+  detail::put_u16(out, csum);
+  detail::put_u16(out, 0);
+}
+
+inline std::optional<TcpHeader> TcpHeader::parse(
+    std::span<const std::uint8_t> data) {
+  if (data.size() < kSize) return std::nullopt;
+  const std::uint16_t off_flags = detail::get_u16(data, 12);
+  if ((off_flags >> 12) != 5) return std::nullopt;  // options unsupported
+  TcpHeader h;
+  h.src_port = detail::get_u16(data, 0);
+  h.dst_port = detail::get_u16(data, 2);
+  h.seq = detail::get_u32(data, 4);
+  h.ack = detail::get_u32(data, 8);
+  h.flags = static_cast<std::uint8_t>(off_flags & 0x3f);
+  h.window = detail::get_u16(data, 14);
+  return h;
+}
+
+// ------------------------------------------------------------------- VXLAN
+
+inline void VxlanHeader::serialize(std::vector<std::uint8_t>& out) const {
+  const std::uint8_t b[kSize] = {
+      0x08,  // flags: valid VNI
+      0,
+      0,
+      0,
+      static_cast<std::uint8_t>(vni >> 16),
+      static_cast<std::uint8_t>(vni >> 8),
+      static_cast<std::uint8_t>(vni),
+      0,
+  };
+  detail::append_bytes(out, b, kSize);
+}
+
+inline std::optional<VxlanHeader> VxlanHeader::parse(
+    std::span<const std::uint8_t> data) {
+  if (data.size() < kSize) return std::nullopt;
+  if ((data[0] & 0x08) == 0) return std::nullopt;  // VNI flag required
+  VxlanHeader h;
+  h.vni = (static_cast<std::uint32_t>(data[4]) << 16) |
+          (static_cast<std::uint32_t>(data[5]) << 8) | data[6];
+  return h;
+}
 
 }  // namespace prism::net

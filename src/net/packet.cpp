@@ -2,17 +2,68 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
+
+#include "sim/pool.h"
 
 namespace prism::net {
+
+PacketBuf& PacketBuf::operator=(PacketBuf&& other) noexcept {
+  if (this != &other) {
+    recycle_storage();
+    data_ = std::move(other.data_);
+    offset_ = other.offset_;
+    other.offset_ = 0;
+  }
+  return *this;
+}
+
+PacketBuf::PacketBuf(const PacketBuf& other)
+    : data_(sim::BufferPool::instance().acquire(other.data_.size())),
+      offset_(other.offset_) {
+  std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+}
+
+PacketBuf& PacketBuf::operator=(const PacketBuf& other) {
+  if (this != &other) {
+    if (data_.capacity() == 0) {
+      data_ = sim::BufferPool::instance().acquire(other.data_.size());
+    } else {
+      data_.resize(other.data_.size());
+    }
+    std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+    offset_ = other.offset_;
+  }
+  return *this;
+}
+
+PacketBuf::~PacketBuf() { recycle_storage(); }
+
+void PacketBuf::recycle_storage() noexcept {
+  if (data_.capacity() != 0) {
+    sim::BufferPool::instance().release(std::move(data_));
+    data_ = std::vector<std::uint8_t>{};
+  }
+  offset_ = 0;
+}
 
 PacketBuf PacketBuf::with_headroom(std::size_t headroom,
                                    std::span<const std::uint8_t> payload) {
   PacketBuf p;
-  p.data_.resize(headroom + payload.size());
-  std::copy(payload.begin(), payload.end(), p.data_.begin() +
-            static_cast<std::ptrdiff_t>(headroom));
-  p.offset_ = headroom;
+  p.reset(headroom, payload);
   return p;
+}
+
+void PacketBuf::reset(std::size_t headroom,
+                      std::span<const std::uint8_t> payload) {
+  if (data_.capacity() == 0) {
+    data_ = sim::BufferPool::instance().acquire(headroom + payload.size());
+  } else {
+    data_.resize(headroom + payload.size());
+  }
+  std::copy(payload.begin(), payload.end(),
+            data_.begin() + static_cast<std::ptrdiff_t>(headroom));
+  offset_ = headroom;
 }
 
 void PacketBuf::push_front(std::span<const std::uint8_t> header) {
@@ -22,18 +73,21 @@ void PacketBuf::push_front(std::span<const std::uint8_t> header) {
               data_.begin() + static_cast<std::ptrdiff_t>(offset_));
     return;
   }
-  // Not enough headroom: rebuild with room for this header plus a fresh
-  // reserve for any further encapsulation.
-  std::vector<std::uint8_t> grown;
-  grown.resize(kEncapHeadroom + header.size() + size());
+  // Not enough headroom: rebuild with room for this header plus a double
+  // encapsulation reserve, so stacking further layers onto the same frame
+  // never pays for a second reallocation.
+  const std::size_t new_headroom = 2 * kEncapHeadroom;
+  std::vector<std::uint8_t> grown = sim::BufferPool::instance().acquire(
+      new_headroom + header.size() + size());
   std::copy(header.begin(), header.end(),
-            grown.begin() + static_cast<std::ptrdiff_t>(kEncapHeadroom));
+            grown.begin() + static_cast<std::ptrdiff_t>(new_headroom));
   const auto old = bytes();
   std::copy(old.begin(), old.end(),
             grown.begin() +
-                static_cast<std::ptrdiff_t>(kEncapHeadroom + header.size()));
+                static_cast<std::ptrdiff_t>(new_headroom + header.size()));
+  sim::BufferPool::instance().release(std::move(data_));
   data_ = std::move(grown);
-  offset_ = kEncapHeadroom;
+  offset_ = new_headroom;
 }
 
 void PacketBuf::pop_front(std::size_t n) {
@@ -45,13 +99,19 @@ void PacketBuf::pop_front(std::size_t n) {
 
 namespace {
 
-// Serializes eth+ip+l4 headers for `l4_size + payload_size` bytes of L4
-// data into a fresh vector.
-std::vector<std::uint8_t> build_headers_udp(
-    const FrameSpec& spec, std::span<const std::uint8_t> payload) {
-  std::vector<std::uint8_t> hdr;
-  hdr.reserve(EthernetHeader::kSize + Ipv4Header::kSize + UdpHeader::kSize);
+// Scratch vector for header serialization, recycled across frame builds
+// so the steady state allocates nothing. Frame builders use it strictly
+// sequentially (serialize, push_front, done) and never reenter.
+std::vector<std::uint8_t>& header_scratch() {
+  static thread_local std::vector<std::uint8_t> scratch;
+  scratch.clear();
+  return scratch;
+}
 
+// Serializes eth+ip+udp headers covering `payload` into `hdr`.
+void build_headers_udp(const FrameSpec& spec,
+                       std::span<const std::uint8_t> payload,
+                       std::vector<std::uint8_t>& hdr) {
   EthernetHeader eth{spec.dst_mac, spec.src_mac, EtherType::kIpv4};
   eth.serialize(hdr);
 
@@ -69,7 +129,6 @@ std::vector<std::uint8_t> build_headers_udp(
   udp.dst_port = spec.dst_port;
   udp.length = static_cast<std::uint16_t>(UdpHeader::kSize + payload.size());
   udp.serialize(hdr, spec.src_ip, spec.dst_ip, payload);
-  return hdr;
 }
 
 }  // namespace
@@ -77,14 +136,15 @@ std::vector<std::uint8_t> build_headers_udp(
 PacketBuf build_udp_frame(const FrameSpec& spec,
                           std::span<const std::uint8_t> payload) {
   PacketBuf p = PacketBuf::from_payload(payload);
-  p.push_front(build_headers_udp(spec, payload));
+  auto& hdr = header_scratch();
+  build_headers_udp(spec, payload, hdr);
+  p.push_front(hdr);
   return p;
 }
 
 PacketBuf build_tcp_frame(const FrameSpec& spec, const TcpHeader& tcp,
                           std::span<const std::uint8_t> payload) {
-  std::vector<std::uint8_t> hdr;
-  hdr.reserve(EthernetHeader::kSize + Ipv4Header::kSize + TcpHeader::kSize);
+  auto& hdr = header_scratch();
 
   EthernetHeader eth{spec.dst_mac, spec.src_mac, EtherType::kIpv4};
   eth.serialize(hdr);
@@ -112,26 +172,53 @@ void vxlan_encapsulate(PacketBuf& frame, const FrameSpec& outer,
                        std::uint32_t vni) {
   // VXLAN payload = VXLAN header + inner frame; build the VXLAN header
   // first so the UDP checksum can cover it together with the inner frame.
-  std::vector<std::uint8_t> vxlan_bytes;
-  VxlanHeader{vni}.serialize(vxlan_bytes);
-  frame.push_front(vxlan_bytes);
+  // The scratch is reused for both pushes — each push copies it into the
+  // frame before the next serialization clears it.
+  auto& scratch = header_scratch();
+  VxlanHeader{vni}.serialize(scratch);
+  frame.push_front(scratch);
 
-  FrameSpec udp_spec = outer;
-  udp_spec.dst_port = kVxlanPort;
-  frame.push_front(build_headers_udp(udp_spec, frame.bytes()));
+  auto& hdr = header_scratch();
+
+  EthernetHeader eth{outer.dst_mac, outer.src_mac, EtherType::kIpv4};
+  eth.serialize(hdr);
+
+  Ipv4Header ip;
+  ip.dscp = outer.dscp;
+  ip.protocol = IpProto::kUdp;
+  ip.src = outer.src_ip;
+  ip.dst = outer.dst_ip;
+  ip.total_length = static_cast<std::uint16_t>(
+      Ipv4Header::kSize + UdpHeader::kSize + frame.size());
+  ip.serialize(hdr);
+
+  // RFC 7348: the outer UDP checksum SHOULD be zero — receivers must not
+  // verify it. Skipping it avoids checksumming the whole inner frame again.
+  UdpHeader udp;
+  udp.src_port = outer.src_port;
+  udp.dst_port = kVxlanPort;
+  udp.length =
+      static_cast<std::uint16_t>(UdpHeader::kSize + frame.size());
+  udp.serialize_no_checksum(hdr);
+
+  frame.push_front(hdr);
 }
 
-std::optional<ParsedFrame> parse_frame(
-    std::span<const std::uint8_t> frame) {
-  ParsedFrame out;
+bool parse_frame_into(std::span<const std::uint8_t> frame,
+                      ParsedFrame& out) noexcept {
+  out.udp.reset();
+  out.tcp.reset();
+  out.l4_payload = {};
+  out.l4_payload_offset = 0;
+
   auto eth = EthernetHeader::parse(frame);
-  if (!eth) return std::nullopt;
+  if (!eth) return false;
   out.eth = *eth;
-  if (eth->ether_type != EtherType::kIpv4) return std::nullopt;
+  if (eth->ether_type != EtherType::kIpv4) return false;
 
   auto ip_bytes = frame.subspan(EthernetHeader::kSize);
   auto ip = Ipv4Header::parse(ip_bytes);
-  if (!ip) return std::nullopt;
+  if (!ip) return false;
   out.ip = *ip;
 
   // Trust total_length over the buffer size (buffers may carry padding).
@@ -141,18 +228,25 @@ std::optional<ParsedFrame> parse_frame(
 
   if (ip->protocol == IpProto::kUdp) {
     auto udp = UdpHeader::parse(l4);
-    if (!udp) return std::nullopt;
+    if (!udp) return false;
     out.udp = *udp;
     out.l4_payload = l4.subspan(UdpHeader::kSize,
                                 udp->length - UdpHeader::kSize);
     out.l4_payload_offset = l4_offset + UdpHeader::kSize;
   } else if (ip->protocol == IpProto::kTcp) {
     auto tcp = TcpHeader::parse(l4);
-    if (!tcp) return std::nullopt;
+    if (!tcp) return false;
     out.tcp = *tcp;
     out.l4_payload = l4.subspan(TcpHeader::kSize);
     out.l4_payload_offset = l4_offset + TcpHeader::kSize;
   }
+  return true;
+}
+
+std::optional<ParsedFrame> parse_frame(
+    std::span<const std::uint8_t> frame) {
+  std::optional<ParsedFrame> out(std::in_place);
+  if (!parse_frame_into(frame, *out)) out.reset();
   return out;
 }
 

@@ -26,9 +26,25 @@ constexpr std::size_t kEncapHeadroom = EthernetHeader::kSize +
 
 /// Byte buffer with headroom, the payload carrier of every simulated
 /// packet.
+///
+/// Storage is recycled through sim::BufferPool: construction acquires a
+/// previously used heap block when one is parked, destruction returns the
+/// block to the pool. A warm steady-state packet loop therefore builds
+/// frames without touching the allocator.
 class PacketBuf {
  public:
   PacketBuf() = default;
+
+  PacketBuf(PacketBuf&& other) noexcept
+      : data_(std::move(other.data_)), offset_(other.offset_) {
+    other.offset_ = 0;
+  }
+  PacketBuf& operator=(PacketBuf&& other) noexcept;
+
+  PacketBuf(const PacketBuf& other);
+  PacketBuf& operator=(const PacketBuf& other);
+
+  ~PacketBuf();
 
   /// Creates a buffer holding `payload` with `headroom` free bytes in
   /// front.
@@ -41,6 +57,11 @@ class PacketBuf {
     // 64 covers Ethernet + IPv4 + TCP (54) with slack.
     return with_headroom(kEncapHeadroom + 64, payload);
   }
+
+  /// Re-initialises this buffer in place to hold `payload` behind
+  /// `headroom` free bytes, reusing the existing storage capacity when it
+  /// suffices. `payload` must not alias this buffer's own storage.
+  void reset(std::size_t headroom, std::span<const std::uint8_t> payload);
 
   /// Current packet bytes (post-headroom).
   std::span<const std::uint8_t> bytes() const noexcept {
@@ -62,6 +83,10 @@ class PacketBuf {
   std::size_t headroom() const noexcept { return offset_; }
 
  private:
+  /// Returns the storage block to sim::BufferPool and leaves the buffer
+  /// empty.
+  void recycle_storage() noexcept;
+
   std::vector<std::uint8_t> data_;
   std::size_t offset_ = 0;
 };
@@ -111,5 +136,11 @@ struct ParsedFrame {
 /// Parses Ethernet/IPv4/{UDP,TCP}. Returns nullopt on malformed input
 /// (short buffers, bad IP checksum, unknown EtherType).
 std::optional<ParsedFrame> parse_frame(std::span<const std::uint8_t> frame);
+
+/// As parse_frame, but fills a caller-owned ParsedFrame — the hot-path
+/// form, avoiding the optional<ParsedFrame> copy per packet. Returns
+/// false on malformed input; `out` is clobbered either way.
+bool parse_frame_into(std::span<const std::uint8_t> frame,
+                      ParsedFrame& out) noexcept;
 
 }  // namespace prism::net

@@ -11,8 +11,14 @@ sim::Duration BridgeStage::process_one(kernel::SkbPtr skb, sim::Time at,
   auto cost = static_cast<sim::Duration>(
       static_cast<double>(cost_.bridge_stage_per_packet) *
       cost_multiplier);
-  const auto eth = net::EthernetHeader::parse(skb->buf.bytes());
-  Netns* dst = eth ? fdb_.lookup(eth->dst) : nullptr;
+  // The skb carries the parse cached when it entered the pipeline; fall
+  // back to parsing the Ethernet header for skbs injected without one.
+  Netns* dst = nullptr;
+  if (skb->parsed) {
+    dst = fdb_.lookup(skb->parsed->eth.dst);
+  } else if (const auto eth = net::EthernetHeader::parse(skb->buf.bytes())) {
+    dst = fdb_.lookup(eth->dst);
+  }
   skb->ts.stage2_done = at + cost;
   if (dst == nullptr) {
     // Unknown destination: a real bridge would flood; with static FDB
@@ -32,9 +38,15 @@ sim::Duration BridgeStage::process_one(kernel::SkbPtr skb, sim::Time at,
       skb->high_priority() &&
       transition_.mode() == kernel::NapiMode::kPrismSync;
   if (!rps_targets_.empty() && !sync_inline) {
-    const auto inner = net::parse_frame(skb->buf.bytes());
     const std::size_t hash =
-        inner ? std::hash<net::FiveTuple>{}(net::flow_of(*inner)) : 0;
+        skb->parsed
+            ? std::hash<net::FiveTuple>{}(net::flow_of(*skb->parsed))
+            : [&] {
+                const auto inner = net::parse_frame(skb->buf.bytes());
+                return inner ? std::hash<net::FiveTuple>{}(
+                                   net::flow_of(*inner))
+                             : std::size_t{0};
+              }();
     const RpsTarget& target = rps_targets_[hash % rps_targets_.size()];
     if (target.backlog != &backlog_) {
       ++rps_steered_;

@@ -38,6 +38,14 @@ int PriorityDb::match(const net::ParsedFrame& frame) const {
                   level_of(frame.ip.dst, dport));
 }
 
+int PriorityDb::classify(const net::ParsedFrame& outer,
+                         const net::ParsedFrame* inner) const {
+  if (entries_.empty()) return 0;
+  int level = match(outer);
+  if (inner) level = std::max(level, match(*inner));
+  return level;
+}
+
 int PriorityDb::classify(std::span<const std::uint8_t> bytes) const {
   if (entries_.empty()) return 0;
   const auto outer = net::parse_frame(bytes);

@@ -51,6 +51,12 @@ class PriorityDb {
   /// frames are level 0.
   int classify(std::span<const std::uint8_t> frame) const;
 
+  /// Classification over headers the caller already parsed (the hot RX
+  /// path parses each frame exactly once and shares the result). `inner`
+  /// is the decapsulated frame for VXLAN packets, nullptr otherwise.
+  int classify(const net::ParsedFrame& outer,
+               const net::ParsedFrame* inner) const;
+
  private:
   struct Key {
     std::uint64_t v;

@@ -1,21 +1,72 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
+#include <stdexcept>
 #include <utility>
 
 namespace prism::sim {
 
 void EventQueue::push(Time at, EventFn fn) {
-  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(fn);
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(fn));
+  }
+  if (slot > kSlotMask || (next_seq_ >> (64 - kSlotBits)) != 0) {
+    throw std::length_error("EventQueue: key space exhausted");
+  }
+
+  // Sift up by moving a "hole" toward the root: each displaced parent is
+  // moved exactly once instead of being swapped.
+  const Entry e{at, (next_seq_++ << kSlotBits) | slot};
+  std::size_t i = heap_.size();
+  heap_.push_back(e);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!e.before(heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
 }
 
 EventFn EventQueue::pop() {
-  EventFn fn = std::move(heap_.top().fn);
-  heap_.pop();
+  const std::uint32_t slot = heap_.front().slot();
+  EventFn fn = std::move(slots_[slot]);
+  free_slots_.push_back(slot);
+
+  const Entry last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    // Sift the former last entry down from the root, moving the smallest
+    // child up into the hole at each level.
+    std::size_t i = 0;
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first_child = i * kArity + 1;
+      if (first_child >= n) break;
+      std::size_t best = first_child;
+      const std::size_t end = std::min(first_child + kArity, n);
+      for (std::size_t c = first_child + 1; c < end; ++c) {
+        if (heap_[c].before(heap_[best])) best = c;
+      }
+      if (!heap_[best].before(last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
   return fn;
 }
 
 void EventQueue::clear() {
-  while (!heap_.empty()) heap_.pop();
+  heap_.clear();
+  slots_.clear();
+  free_slots_.clear();
   next_seq_ = 0;
 }
 

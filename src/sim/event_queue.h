@@ -3,21 +3,32 @@
 // Events at equal timestamps fire in insertion order (a monotonically
 // increasing sequence number breaks ties), which makes simulations fully
 // deterministic regardless of heap internals.
+//
+// The heap is a hand-rolled 4-ary min-heap over flat storage. Compared to
+// the binary std::priority_queue it replaced, the wider fan-out halves the
+// tree depth (fewer cache lines touched per sift) and the entries hold
+// their callbacks in InlineFn, so pushing an event allocates nothing for
+// captures up to EventFn::kInlineCapacity bytes.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/inline_fn.h"
 #include "sim/time.h"
 
 namespace prism::sim {
 
-/// Callback invoked when an event fires.
-using EventFn = std::function<void()>;
+/// Callback invoked when an event fires. Move-only; captures up to
+/// kInlineCapacity bytes live inside the object, larger ones on the heap.
+using EventFn = InlineFn<void()>;
 
 /// Min-heap of (time, sequence) ordered events.
+///
+/// Callbacks live in a side slab indexed by the heap entries, so sift
+/// operations move 16-byte keys instead of full InlineFn storage; slab
+/// slots are recycled through a free list, making steady-state push/pop
+/// allocation-free.
 class EventQueue {
  public:
   /// Adds an event firing at absolute time `at`. Events scheduled for the
@@ -31,7 +42,7 @@ class EventQueue {
   std::size_t size() const noexcept { return heap_.size(); }
 
   /// Timestamp of the earliest pending event. Precondition: !empty().
-  Time next_time() const { return heap_.top().at; }
+  Time next_time() const { return heap_.front().at; }
 
   /// Removes and returns the earliest event's callback.
   /// Precondition: !empty().
@@ -41,20 +52,33 @@ class EventQueue {
   void clear();
 
  private:
+  /// Slab-slot index bits inside Entry::key. Bounds simultaneously
+  /// pending events at 2^24 (16 M — far beyond any plausible queue) and
+  /// leaves 40 bits of sequence (1.1e12 pushes between clear() calls).
+  static constexpr unsigned kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (1ull << kSlotBits) - 1;
+
   struct Entry {
     Time at;
-    std::uint64_t seq;
-    // Mutable so that pop() can move the callback out of the const
-    // reference returned by std::priority_queue::top().
-    mutable EventFn fn;
+    /// (seq << kSlotBits) | slot. Sequence numbers are unique, so
+    /// comparing keys compares sequences; packing keeps the entry at 16
+    /// bytes, which is what the sift loops move and compare.
+    std::uint64_t key;
 
-    bool operator>(const Entry& other) const noexcept {
-      if (at != other.at) return at > other.at;
-      return seq > other.seq;
+    std::uint32_t slot() const noexcept {
+      return static_cast<std::uint32_t>(key & kSlotMask);
+    }
+    bool before(const Entry& other) const noexcept {
+      if (at != other.at) return at < other.at;
+      return key < other.key;
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  static constexpr std::size_t kArity = 4;
+
+  std::vector<Entry> heap_;
+  std::vector<EventFn> slots_;
+  std::vector<std::uint32_t> free_slots_;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -1,0 +1,138 @@
+// Small-buffer-optimised move-only callable, the event queue's workhorse.
+//
+// Every scheduled event used to carry a std::function whose capture state
+// lived in a fresh heap block; at millions of events per second the
+// allocator became a first-order cost. InlineFn stores captures up to
+// Capacity bytes directly inside the object (no allocation at all) and
+// falls back to the heap only for oversized or throwing-move callables.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace prism::sim {
+
+template <typename Sig, std::size_t Capacity = 120>
+class InlineFn;
+
+/// Move-only callable wrapper with `Capacity` bytes of inline storage.
+///
+/// A callable is stored inline when it fits, is sufficiently aligned, and
+/// is nothrow-move-constructible (moves happen inside noexcept heap
+/// operations); everything else is boxed on the heap. Unlike
+/// std::function, InlineFn never copies — which is exactly what a
+/// fire-once event callback needs.
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFn<R(Args...), Capacity> {
+ public:
+  static constexpr std::size_t kInlineCapacity = Capacity;
+
+  InlineFn() noexcept = default;
+  InlineFn(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InlineFn> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  InlineFn(InlineFn&& other) noexcept { steal(other); }
+
+  InlineFn& operator=(InlineFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+
+  InlineFn(const InlineFn&) = delete;
+  InlineFn& operator=(const InlineFn&) = delete;
+
+  ~InlineFn() { reset(); }
+
+  /// Destroys the held callable (no-op when empty).
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(buf_, std::forward<Args>(args)...);
+  }
+
+  /// True when the callable lives in the inline buffer (test hook).
+  bool is_inline() const noexcept {
+    return ops_ != nullptr && ops_->inline_storage;
+  }
+
+  /// Whether a callable of type D would be stored inline.
+  template <typename D>
+  static constexpr bool fits_inline() noexcept {
+    return sizeof(D) <= Capacity &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+ private:
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    /// Move-constructs the callable at dst from src, destroying src.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* p, Args&&... args) -> R {
+        return (*static_cast<D*>(p))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        D* s = static_cast<D*>(src);
+        ::new (dst) D(std::move(*s));
+        s->~D();
+      },
+      [](void* p) noexcept { static_cast<D*>(p)->~D(); },
+      true,
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* p, Args&&... args) -> R {
+        return (**static_cast<D**>(p))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) D*(*static_cast<D**>(src));
+      },
+      [](void* p) noexcept { delete *static_cast<D**>(p); },
+      false,
+  };
+
+  void steal(InlineFn& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(buf_, other.buf_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace prism::sim

@@ -1,0 +1,13 @@
+#include "sim/pool.h"
+
+namespace prism::sim {
+
+BufferPool& BufferPool::instance() noexcept {
+  // Intentionally leaked: PacketBufs owned by objects with static storage
+  // duration release their buffers during program shutdown, after normal
+  // static destructors would have torn a stack-local singleton down.
+  static BufferPool* pool = new BufferPool();
+  return *pool;
+}
+
+}  // namespace prism::sim

@@ -1,0 +1,186 @@
+// Free-list object recycling for the simulation hot path.
+//
+// The steady-state packet loop should not touch the heap: buffers and
+// objects released at the end of one packet's lifetime are parked on a
+// free list and handed back to the next packet. PoolStats counts every
+// acquire/release so benchmarks can assert the hit rate (a warm pool
+// serves >99% of acquires from the free list).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace prism::sim {
+
+/// Counters exported by every recycling pool (see stats/summary.h).
+struct PoolStats {
+  std::uint64_t acquired = 0;   ///< total acquire() calls
+  std::uint64_t reused = 0;     ///< acquires served from the free list
+  std::uint64_t allocated = 0;  ///< acquires that fell through to the heap
+  std::uint64_t released = 0;   ///< returns parked on the free list
+  std::uint64_t discarded = 0;  ///< returns freed (pool full or disabled)
+
+  /// Fraction of acquires served without a heap allocation.
+  double hit_rate() const noexcept {
+    if (acquired == 0) return 0.0;
+    return static_cast<double>(reused) / static_cast<double>(acquired);
+  }
+
+  void reset() noexcept { *this = PoolStats{}; }
+};
+
+/// Generic free-list recycler for default-constructible objects.
+///
+/// acquire() pops a previously released object (or heap-allocates when the
+/// list is dry); release() parks the object for reuse. The caller is
+/// responsible for scrubbing object state between uses — the pool neither
+/// constructs nor destructs recycled objects. Disabling the pool turns it
+/// into a plain new/delete pass-through, which keeps allocation behaviour
+/// bit-for-bit comparable in determinism A/B tests.
+template <typename T>
+class ObjectPool {
+ public:
+  static constexpr std::size_t kDefaultMaxFree = 8192;
+
+  explicit ObjectPool(std::size_t max_free = kDefaultMaxFree)
+      : max_free_(max_free) {
+    free_.reserve(max_free_ < 1024 ? max_free_ : 1024);
+  }
+
+  ObjectPool(const ObjectPool&) = delete;
+  ObjectPool& operator=(const ObjectPool&) = delete;
+
+  ~ObjectPool() { trim(); }
+
+  /// Returns a recycled object or a fresh heap allocation. Ownership
+  /// passes to the caller (wrap in an RAII handle that calls release()).
+  T* acquire() {
+    ++stats_.acquired;
+    if (enabled_ && !free_.empty()) {
+      ++stats_.reused;
+      T* obj = free_.back();
+      free_.pop_back();
+      return obj;
+    }
+    ++stats_.allocated;
+    return new T();
+  }
+
+  /// Parks `obj` for reuse; frees it when the pool is disabled or full.
+  void release(T* obj) {
+    if (!enabled_ || free_.size() >= max_free_) {
+      ++stats_.discarded;
+      delete obj;
+      return;
+    }
+    ++stats_.released;
+    free_.push_back(obj);
+  }
+
+  /// Frees every parked object.
+  void trim() {
+    for (T* obj : free_) delete obj;
+    free_.clear();
+  }
+
+  /// A disabled pool passes straight through to new/delete.
+  void set_enabled(bool enabled) {
+    enabled_ = enabled;
+    if (!enabled_) trim();
+  }
+  bool enabled() const noexcept { return enabled_; }
+
+  std::size_t free_objects() const noexcept { return free_.size(); }
+
+  const PoolStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_.reset(); }
+
+ private:
+  std::vector<T*> free_;
+  std::size_t max_free_;
+  bool enabled_ = true;
+  PoolStats stats_;
+};
+
+/// Process-global free list of byte buffers backing net::PacketBuf.
+///
+/// PacketBuf's storage vector is acquired here on construction and
+/// returned here on destruction, so the vector's heap block survives the
+/// PacketBuf that carried it and is re-issued to the next frame. Buffers
+/// larger than kMaxRetainedBytes are freed rather than parked so one
+/// jumbo frame cannot pin memory forever.
+class BufferPool {
+ public:
+  static constexpr std::size_t kDefaultMaxFree = 16384;
+  static constexpr std::size_t kMaxRetainedBytes = 256 * 1024;
+
+  /// The process-global instance (never destroyed: PacketBufs with static
+  /// storage duration may release buffers during shutdown).
+  static BufferPool& instance() noexcept;
+
+  BufferPool() { free_.reserve(1024); }
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns a buffer resized to `size` bytes. Recycled buffers keep
+  /// their capacity, so a warm pool resizes without reallocating. Byte
+  /// content beyond what the caller writes is unspecified.
+  std::vector<std::uint8_t> acquire(std::size_t size) {
+    ++stats_.acquired;
+    if (enabled_ && !free_.empty()) {
+      std::vector<std::uint8_t> buf = std::move(free_.back());
+      free_.pop_back();
+      if (buf.capacity() >= size) {
+        ++stats_.reused;
+      } else {
+        ++stats_.allocated;  // resize below grows the heap block
+      }
+      buf.resize(size);
+      return buf;
+    }
+    ++stats_.allocated;
+    return std::vector<std::uint8_t>(size);
+  }
+
+  /// Parks a buffer's storage for reuse. Empty-capacity vectors carry no
+  /// heap block and are dropped silently.
+  void release(std::vector<std::uint8_t>&& storage) {
+    if (storage.capacity() == 0) return;
+    if (!enabled_ || free_.size() >= max_free_ ||
+        storage.capacity() > kMaxRetainedBytes) {
+      ++stats_.discarded;
+      return;  // storage frees on scope exit
+    }
+    ++stats_.released;
+    free_.push_back(std::move(storage));
+  }
+
+  /// Frees every parked buffer.
+  void trim() {
+    free_.clear();
+    free_.shrink_to_fit();
+    free_.reserve(1024);
+  }
+
+  /// A disabled pool passes straight through to the allocator.
+  void set_enabled(bool enabled) {
+    enabled_ = enabled;
+    if (!enabled_) trim();
+  }
+  bool enabled() const noexcept { return enabled_; }
+
+  std::size_t free_buffers() const noexcept { return free_.size(); }
+
+  const PoolStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_.reset(); }
+
+ private:
+  std::vector<std::vector<std::uint8_t>> free_;
+  std::size_t max_free_ = kDefaultMaxFree;
+  bool enabled_ = true;
+  PoolStats stats_;
+};
+
+}  // namespace prism::sim

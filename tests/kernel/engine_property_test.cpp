@@ -42,7 +42,7 @@ TEST_P(RandomTrafficTest, ConservationAndPerLevelFifo) {
     injected += count;
     p.sim.schedule_at(at, [&p, count, level, &next_tag] {
       for (int i = 0; i < count; ++i) {
-        auto skb = std::make_unique<Skb>();
+        auto skb = alloc_skb();
         skb->priority = level;
         skb->ts.nic_rx =
             static_cast<sim::Time>(next_tag[level]++);

@@ -12,7 +12,7 @@ namespace {
 using testing::Pipeline;
 
 SkbPtr make_skb(int level) {
-  auto skb = std::make_unique<Skb>();
+  auto skb = alloc_skb();
   skb->priority = level;
   return skb;
 }

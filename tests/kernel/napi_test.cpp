@@ -36,7 +36,7 @@ class RecordingStage final : public PacketStage {
 };
 
 SkbPtr make_skb(bool high) {
-  auto skb = std::make_unique<Skb>();
+  auto skb = alloc_skb();
   skb->priority = high ? 1 : 0;
   return skb;
 }

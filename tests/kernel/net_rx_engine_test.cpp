@@ -196,7 +196,7 @@ TEST(NetRxEngineTest, HighPriorityPreemptsQueuedLowPriorityBatches) {
   Pipeline p(NapiMode::kPrismBatch);
   // 128 low-priority packets directly in br's low queue.
   for (int i = 0; i < 128; ++i) {
-    auto skb = std::make_unique<Skb>();
+    auto skb = alloc_skb();
     skb->priority = 0;
     p.br.low_queue.push_back(std::move(skb));
   }
@@ -228,7 +228,7 @@ TEST(NetRxEngineTest, VanillaHighPrioritySuffersHeadOfLineBlocking) {
   // waits behind every earlier low packet.
   Pipeline p(NapiMode::kVanilla);
   for (int i = 0; i < 128; ++i) {
-    auto skb = std::make_unique<Skb>();
+    auto skb = alloc_skb();
     p.br.low_queue.push_back(std::move(skb));
   }
   p.engine.napi_schedule(p.br, false);
@@ -327,7 +327,7 @@ TEST(NetRxEngineTest, QueuesModeStillBypassesLowQueueBacklog) {
   // poll list.
   Pipeline p(NapiMode::kPrismQueues);
   for (int i = 0; i < 128; ++i) {
-    auto skb = std::make_unique<Skb>();
+    auto skb = alloc_skb();
     p.br.low_queue.push_back(std::move(skb));
   }
   p.engine.napi_schedule(p.br, false);
@@ -352,7 +352,7 @@ TEST(NetRxEngineTest, BatchPreemptionBeatsQueuesOnlyForFirstDelivery) {
   auto first_high = [](NapiMode mode) {
     Pipeline p(mode);
     for (int i = 0; i < 128; ++i) {
-      p.br.low_queue.push_back(std::make_unique<Skb>());
+      p.br.low_queue.push_back(alloc_skb());
     }
     p.engine.napi_schedule(p.br, false);
     p.feed(p.eth_high, 1);

@@ -10,7 +10,7 @@ namespace {
 using testing::Pipeline;
 
 SkbPtr make_skb(bool high) {
-  auto skb = std::make_unique<Skb>();
+  auto skb = alloc_skb();
   skb->priority = high ? 1 : 0;
   return skb;
 }
