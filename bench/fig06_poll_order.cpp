@@ -5,20 +5,31 @@
 // — the third stage of batch N is delayed behind the first stage of batch
 // N+1. PRISM (Fig. 6b) polls {eth, br, veth, eth, br, veth, ...}: each
 // batch completes all stages before the next is fetched.
+//
+// With --trace-out PATH the same runs are re-recorded through the span
+// tracer and exported as Chrome trace_event JSON (load in Perfetto or
+// chrome://tracing): one track per CPU, one span per device poll, so the
+// interleaved vs streamlined orders are visible as the paper drew them.
 #include <cstdio>
+#include <cstring>
 
 #include "apps/sockperf.h"
 #include "bench_util.h"
 #include "harness/testbed.h"
+#include "telemetry/span_tracer.h"
 #include "trace/poll_trace.h"
 
 namespace {
 
-prism::trace::PollTrace trace_mode(prism::kernel::NapiMode mode) {
+prism::trace::PollTrace trace_mode(prism::kernel::NapiMode mode,
+                                   prism::telemetry::SpanTracer* tracer =
+                                       nullptr,
+                                   int track_base = 0) {
   using namespace prism;
   harness::TestbedConfig tc;
   tc.mode = mode;
   harness::Testbed tb(tc);
+  if (tracer != nullptr) tb.server().set_span_tracer(tracer, track_base);
   auto& cli = tb.add_client_container("cli");
   auto& srv = tb.add_server_container("srv");
   // The traced flow is high priority so PRISM's streamlining engages.
@@ -50,19 +61,41 @@ prism::trace::PollTrace trace_mode(prism::kernel::NapiMode mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace prism;
+  const char* trace_out = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    }
+  }
+
   bench::print_header("Figure 6",
                       "NAPI device processing order, Vanilla vs PRISM");
 
-  const auto vanilla = trace_mode(kernel::NapiMode::kVanilla);
+  telemetry::SpanTracer tracer;
+  telemetry::SpanTracer* tp = trace_out != nullptr ? &tracer : nullptr;
+
+  // Vanilla on tracks [0, 4), PRISM on tracks [4, 8): both orders appear
+  // in one exported timeline, one row per (mode, CPU).
+  const auto vanilla = trace_mode(kernel::NapiMode::kVanilla, tp, 0);
   std::printf("(a) Vanilla\n%s\n", vanilla.render(12).c_str());
 
-  const auto prism_trace = trace_mode(kernel::NapiMode::kPrismBatch);
+  const auto prism_trace = trace_mode(kernel::NapiMode::kPrismBatch, tp, 4);
   std::printf("(b) PRISM\n%s\n", prism_trace.render(12).c_str());
 
   std::printf(
       "Note how in (a) veth (stage 3 of batch N) is polled only after eth\n"
       "(stage 1 of batch N+1), while (b) follows eth -> br -> veth.\n");
+
+  if (trace_out != nullptr) {
+    if (tracer.export_chrome_trace_file(trace_out, "fig06")) {
+      std::printf(
+          "wrote %zu spans to %s — open in Perfetto (ui.perfetto.dev)\n",
+          tracer.size(), trace_out);
+    } else {
+      std::fprintf(stderr, "fig06: cannot write %s\n", trace_out);
+    }
+  }
   return 0;
 }

@@ -2,15 +2,19 @@
 //
 // Unlike the figure benches (which report *simulated* latencies), this
 // bench measures how fast the simulator itself runs: wall-clock events/sec
-// and packets/sec over a fig11-style background-load sweep, peak RSS, and
-// the recycling-pool hit rates that the zero-allocation hot path is built
-// around. Results go to stdout and to BENCH_perf_smoke.json (override the
-// path with PRISM_BENCH_OUT or argv[1]).
+// and packets/sec over a fig11-style background-load sweep, peak RSS, the
+// recycling-pool hit rates that the zero-allocation hot path is built
+// around, and the cost of the telemetry layer (span tracer + counters)
+// at the high-load point. Results go to stdout and to
+// BENCH_perf_smoke.json (override the path with PRISM_BENCH_OUT or
+// argv[1]).
 //
 // The JSON embeds the seed-tree throughput measured on the same reference
 // machine so the speedup of the pooled/inline hot path is tracked release
-// over release. The bench never fails the build: it always exits 0 and
-// leaves the judgement to whoever reads the numbers.
+// over release, plus a machine-readable telemetry block (registry dump,
+// softnet_stat, net/dev) from the high-load run. The bench never fails
+// the build: it always exits 0 and leaves the judgement to whoever reads
+// the numbers.
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -25,6 +29,9 @@
 #include "kernel/skb_pool.h"
 #include "sim/pool.h"
 #include "stats/summary.h"
+#include "telemetry/json_writer.h"
+#include "telemetry/snapshot.h"
+#include "telemetry/span_tracer.h"
 
 using namespace prism;
 
@@ -38,6 +45,11 @@ constexpr std::uint16_t kBgSrcBase = 21000;
 /// Seed-tree throughput at the 450 kpps sweep point (events/sec, best of
 /// three, same harness and machine class). The hot-path work targets >= 2x.
 constexpr double kSeedEventsPerSec = 3606833.0;
+
+/// Target ceiling for the telemetry layer's hot-path cost at 450 kpps:
+/// full tracing (span tracer attached on every CPU) must stay within 3%
+/// of the counters-only baseline events/sec.
+constexpr double kTelemetryOverheadTarget = 0.03;
 
 constexpr double kSweepKpps[] = {0, 100, 250, 450};
 constexpr double kHighLoadKpps = 450;
@@ -57,11 +69,19 @@ struct PointResult {
 
 /// One fig11-style run: a latency probe flow plus a background flood at
 /// `bg_rate_pps`, both container-to-container over the VXLAN overlay,
-/// under the PRISM-sync pipeline. Returns wall-clock cost of the run.
-PointResult run_point(double bg_rate_pps, sim::Duration duration) {
+/// under the PRISM-sync pipeline. With `full_telemetry` a span tracer is
+/// attached to every CPU of both hosts (the counters are always bound by
+/// Host); `telemetry_block`, if non-null, receives the run's telemetry as
+/// a JSON value (registry dump + proc-style snapshots + tracer stats),
+/// rendered outside the timed section.
+PointResult run_point(double bg_rate_pps, sim::Duration duration,
+                      bool full_telemetry = false,
+                      std::string* telemetry_block = nullptr) {
   harness::TestbedConfig tc;
   tc.mode = kernel::NapiMode::kPrismSync;
   harness::Testbed tb(tc);
+  telemetry::SpanTracer tracer;
+  if (full_telemetry) tb.attach_span_tracer(tracer);
   const sim::Duration warmup = sim::milliseconds(50);
   const sim::Time t_end = warmup + duration;
 
@@ -115,6 +135,24 @@ PointResult run_point(double bg_rate_pps, sim::Duration duration) {
   tb.sim().run_until(t_end + sim::milliseconds(20));
   const auto t1 = std::chrono::steady_clock::now();
 
+  if (telemetry_block != nullptr) {
+    telemetry::JsonWriter w;
+    w.begin_object();
+    w.member("compiled_in", static_cast<bool>(PRISM_TELEMETRY_ENABLED));
+    w.key("server_registry");
+    w.raw(telemetry::registry_json(tb.server().metrics()));
+    w.member("softnet_stat", tb.server().softnet_stat());
+    w.member("net_dev", tb.server().net_dev());
+    w.key("trace");
+    w.begin_object();
+    w.member("recorded", tracer.recorded());
+    w.member("retained", static_cast<std::uint64_t>(tracer.size()));
+    w.member("dropped", tracer.dropped());
+    w.end_object();
+    w.end_object();
+    *telemetry_block = w.take();
+  }
+
   PointResult r;
   r.bg_kpps = bg_rate_pps / 1e3;
   r.wall_s = std::chrono::duration<double>(t1 - t0).count();
@@ -126,10 +164,13 @@ PointResult run_point(double bg_rate_pps, sim::Duration duration) {
 /// Best wall-clock of `reps` identical runs (the simulation is
 /// deterministic, so every rep executes the same events; only the wall
 /// clock varies with machine noise).
-PointResult best_of(double bg_rate_pps, sim::Duration duration, int reps) {
+PointResult best_of(double bg_rate_pps, sim::Duration duration, int reps,
+                    bool full_telemetry = false,
+                    std::string* telemetry_block = nullptr) {
   PointResult best;
   for (int i = 0; i < reps; ++i) {
-    PointResult p = run_point(bg_rate_pps, duration);
+    PointResult p =
+        run_point(bg_rate_pps, duration, full_telemetry, telemetry_block);
     if (best.wall_s == 0 || p.wall_s < best.wall_s) best = p;
   }
   return best;
@@ -150,12 +191,6 @@ std::uint64_t peak_rss_bytes() {
   }
   std::fclose(f);
   return kb * 1024;
-}
-
-std::string json_escape_free(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.6g", v);
-  return buf;
 }
 
 }  // namespace
@@ -196,78 +231,97 @@ int main(int argc, char** argv) {
   kernel::SkbPool::instance().set_enabled(true);
   sim::BufferPool::instance().set_enabled(true);
 
+  // A/B: full telemetry (span tracer on every CPU of both hosts) vs the
+  // counters-only baseline above. When PRISM_TELEMETRY=OFF the recording
+  // calls compile out and the overhead should read ~0.
+  std::string telemetry_block;
+  const PointResult telem_on =
+      best_of(kHighLoadKpps * 1e3, sim::milliseconds(200), kRepsPerPoint,
+              /*full_telemetry=*/true, &telemetry_block);
+
   const PointResult& high = sweep.back();
   const double speedup = high.events_per_sec() / kSeedEventsPerSec;
+  const double telem_overhead =
+      high.events_per_sec() > 0
+          ? 1.0 - telem_on.events_per_sec() / high.events_per_sec()
+          : 0.0;
   const std::uint64_t rss = peak_rss_bytes();
 
   std::printf("high-load ev/s=%.0f  seed ev/s=%.0f  speedup=%.2fx\n",
               high.events_per_sec(), kSeedEventsPerSec, speedup);
   std::printf("pool-disabled ev/s=%.0f\n", no_pool.events_per_sec());
+  std::printf("telemetry-on ev/s=%.0f  overhead=%.2f%% (target <= %.0f%%)%s\n",
+              telem_on.events_per_sec(), telem_overhead * 100.0,
+              kTelemetryOverheadTarget * 100.0,
+              telem_overhead <= kTelemetryOverheadTarget ? "" : "  ** OVER **");
   std::printf("peak RSS=%.1f MiB\n", static_cast<double>(rss) / (1 << 20));
 
   const char* out_path = std::getenv("PRISM_BENCH_OUT");
   if (argc > 1) out_path = argv[1];
   if (out_path == nullptr) out_path = "BENCH_perf_smoke.json";
 
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.member("bench", "perf_smoke");
+  w.member("mode", "prism_sync");
+  w.member("sim_ms_per_point", 200);
+  w.member("reps_per_point", kRepsPerPoint);
+  w.key("sweep");
+  w.begin_array();
+  for (const PointResult& p : sweep) {
+    w.begin_object();
+    w.member("bg_kpps", p.bg_kpps);
+    w.member("wall_s", p.wall_s);
+    w.member("events", p.events);
+    w.member("events_per_sec", p.events_per_sec());
+    w.member("packets", p.packets);
+    w.member("packets_per_sec", p.packets_per_sec());
+    w.end_object();
+  }
+  w.end_array();
+  w.key("high_load");
+  w.begin_object();
+  w.member("bg_kpps", kHighLoadKpps);
+  w.member("events_per_sec", high.events_per_sec());
+  w.member("seed_events_per_sec", kSeedEventsPerSec);
+  w.member("speedup_vs_seed", speedup);
+  w.member("pool_disabled_events_per_sec", no_pool.events_per_sec());
+  w.end_object();
+  w.key("telemetry_overhead");
+  w.begin_object();
+  w.member("compiled_in", static_cast<bool>(PRISM_TELEMETRY_ENABLED));
+  w.member("baseline_events_per_sec", high.events_per_sec());
+  w.member("telemetry_events_per_sec", telem_on.events_per_sec());
+  w.member("overhead_fraction", telem_overhead);
+  w.member("target_fraction", kTelemetryOverheadTarget);
+  w.member("within_target", telem_overhead <= kTelemetryOverheadTarget);
+  w.end_object();
+  w.member("peak_rss_bytes", rss);
+  w.key("pools");
+  w.begin_array();
+  for (const auto& p : pools) {
+    w.begin_object();
+    w.member("name", p.name);
+    w.member("acquired", p.acquired);
+    w.member("reused", p.reused);
+    w.member("allocated", p.allocated);
+    w.member("released", p.released);
+    w.member("discarded", p.discarded);
+    w.member("hit_rate", p.hit_rate);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("telemetry");
+  w.raw(telemetry_block);
+  w.end_object();
+
   std::FILE* out = std::fopen(out_path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "perf_smoke: cannot write %s\n", out_path);
     return 0;  // report-only bench: never fail the build
   }
-  std::fprintf(out, "{\n");
-  std::fprintf(out, "  \"bench\": \"perf_smoke\",\n");
-  std::fprintf(out, "  \"mode\": \"prism_sync\",\n");
-  std::fprintf(out, "  \"sim_ms_per_point\": 200,\n");
-  std::fprintf(out, "  \"reps_per_point\": %d,\n", kRepsPerPoint);
-  std::fprintf(out, "  \"sweep\": [\n");
-  for (std::size_t i = 0; i < sweep.size(); ++i) {
-    const PointResult& p = sweep[i];
-    std::fprintf(out,
-                 "    {\"bg_kpps\": %s, \"wall_s\": %s, \"events\": %llu, "
-                 "\"events_per_sec\": %s, \"packets\": %llu, "
-                 "\"packets_per_sec\": %s}%s\n",
-                 json_escape_free(p.bg_kpps).c_str(),
-                 json_escape_free(p.wall_s).c_str(),
-                 static_cast<unsigned long long>(p.events),
-                 json_escape_free(p.events_per_sec()).c_str(),
-                 static_cast<unsigned long long>(p.packets),
-                 json_escape_free(p.packets_per_sec()).c_str(),
-                 i + 1 < sweep.size() ? "," : "");
-  }
-  std::fprintf(out, "  ],\n");
-  std::fprintf(out, "  \"high_load\": {\n");
-  std::fprintf(out, "    \"bg_kpps\": %s,\n",
-               json_escape_free(kHighLoadKpps).c_str());
-  std::fprintf(out, "    \"events_per_sec\": %s,\n",
-               json_escape_free(high.events_per_sec()).c_str());
-  std::fprintf(out, "    \"seed_events_per_sec\": %s,\n",
-               json_escape_free(kSeedEventsPerSec).c_str());
-  std::fprintf(out, "    \"speedup_vs_seed\": %s,\n",
-               json_escape_free(speedup).c_str());
-  std::fprintf(out, "    \"pool_disabled_events_per_sec\": %s\n",
-               json_escape_free(no_pool.events_per_sec()).c_str());
-  std::fprintf(out, "  },\n");
-  std::fprintf(out, "  \"peak_rss_bytes\": %llu,\n",
-               static_cast<unsigned long long>(rss));
-  std::fprintf(out, "  \"pools\": [\n");
-  for (std::size_t i = 0; i < pools.size(); ++i) {
-    const auto& p = pools[i];
-    std::fprintf(out,
-                 "    {\"name\": \"%s\", \"acquired\": %llu, "
-                 "\"reused\": %llu, \"allocated\": %llu, "
-                 "\"released\": %llu, \"discarded\": %llu, "
-                 "\"hit_rate\": %s}%s\n",
-                 p.name.c_str(),
-                 static_cast<unsigned long long>(p.acquired),
-                 static_cast<unsigned long long>(p.reused),
-                 static_cast<unsigned long long>(p.allocated),
-                 static_cast<unsigned long long>(p.released),
-                 static_cast<unsigned long long>(p.discarded),
-                 json_escape_free(p.hit_rate).c_str(),
-                 i + 1 < pools.size() ? "," : "");
-  }
-  std::fprintf(out, "  ]\n");
-  std::fprintf(out, "}\n");
+  std::fputs(w.str().c_str(), out);
+  std::fputc('\n', out);
   std::fclose(out);
   std::printf("wrote %s\n", out_path);
   return 0;

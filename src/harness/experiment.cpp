@@ -1,10 +1,14 @@
 #include "harness/experiment.h"
 
+#include <cstdio>
+
 #include "apps/http_server.h"
 #include "apps/memaslap.h"
 #include "apps/memcached.h"
 #include "apps/sockperf.h"
 #include "harness/testbed.h"
+#include "telemetry/snapshot.h"
+#include "telemetry/span_tracer.h"
 
 namespace prism::harness {
 
@@ -32,6 +36,8 @@ TestbedConfig testbed_config(const kernel::CostModel& cost,
 PriorityScenarioResult run_priority_scenario(
     const PriorityScenarioConfig& cfg) {
   Testbed tb(testbed_config(cfg.cost, cfg.mode));
+  telemetry::SpanTracer tracer;
+  if (!cfg.trace_out.empty()) tb.attach_span_tracer(tracer);
   const sim::Time t_end = cfg.warmup + cfg.duration;
 
   // Endpoints: containers on the overlay path, root namespaces on the
@@ -113,6 +119,16 @@ PriorityScenarioResult run_priority_scenario(
   result.bg_sent = bg_client.sent();
   result.bg_received = bg_server.received();
   result.server_ring_drops = tb.server().nic().rx_dropped();
+  if (cfg.collect_telemetry) {
+    result.server_telemetry_json =
+        telemetry::registry_json(tb.server().metrics());
+    result.server_softnet_stat = tb.server().softnet_stat();
+  }
+  if (!cfg.trace_out.empty() &&
+      !tracer.export_chrome_trace_file(cfg.trace_out, "prism-testbed")) {
+    std::fprintf(stderr, "run_priority_scenario: cannot write %s\n",
+                 cfg.trace_out.c_str());
+  }
   return result;
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "kernel/cost_model.h"
 #include "kernel/napi.h"
@@ -35,6 +36,12 @@ struct PriorityScenarioConfig {
   sim::Duration warmup = sim::milliseconds(50);
   sim::Duration duration = sim::milliseconds(500);
   kernel::CostModel cost{};
+  /// Collect the server's telemetry (registry JSON + softnet_stat) into
+  /// the result. Counters are always live; this only snapshots them.
+  bool collect_telemetry = false;
+  /// Non-empty: attach a span tracer to both hosts and export the
+  /// timeline as Chrome trace_event JSON to this path (Perfetto-loadable).
+  std::string trace_out;
 };
 
 struct PriorityScenarioResult {
@@ -45,6 +52,10 @@ struct PriorityScenarioResult {
   std::uint64_t bg_sent = 0;
   std::uint64_t bg_received = 0;
   std::uint64_t server_ring_drops = 0;
+  /// Filled when collect_telemetry: the server registry as JSON
+  /// ({"counters": ..., "gauges": ...}) and its softnet_stat rendering.
+  std::string server_telemetry_json;
+  std::string server_softnet_stat;
 };
 
 PriorityScenarioResult run_priority_scenario(

@@ -63,6 +63,14 @@ class Testbed {
     return server_.cpu(server_.default_rx_cpu());
   }
 
+  /// Attaches one shared span tracer to both hosts: server CPUs on
+  /// tracks [0, server_cpus), client CPUs on the tracks after them, so
+  /// one exported trace shows every core of the testbed as its own row.
+  void attach_span_tracer(telemetry::SpanTracer& tracer) {
+    server_.set_span_tracer(&tracer, 0);
+    client_.set_span_tracer(&tracer, server_.num_cpus());
+  }
+
  private:
   sim::Simulator sim_;
   kernel::Host client_;

@@ -48,6 +48,9 @@ Host::Host(sim::Simulator& sim, HostConfig config)
   nic_ = std::make_unique<nic::Nic>(sim_, cfg_.nic_queues,
                                     cfg_.nic_ring_capacity, cfg_.coalesce);
 
+  nic_->bind_telemetry(telemetry_.registry, "nic.");
+  deliverer_->bind_telemetry(telemetry_.registry, "sockets.");
+
   // Per-CPU softirq machinery.
   for (int i = 0; i < cfg_.num_cpus; ++i) {
     auto pc = std::make_unique<PerCpu>();
@@ -60,6 +63,12 @@ Host::Host(sim::Simulator& sim, HostConfig config)
         std::make_unique<BacklogStage>("veth", cfg_.cost, *deliverer_);
     pc->backlog = std::make_unique<QueueNapi>("veth", *pc->backlog_stage,
                                               cfg_.cost);
+    const std::string cpu_prefix = "cpu" + std::to_string(i) + ".";
+    pc->engine->bind_telemetry(telemetry_.registry, cpu_prefix);
+    pc->backlog->bind_telemetry(telemetry_.registry,
+                                cpu_prefix + "backlog.");
+    pc->backlog_stage->bind_telemetry(telemetry_.registry,
+                                      cpu_prefix + "veth.");
     per_cpu_.push_back(std::move(pc));
   }
 
@@ -81,8 +90,13 @@ Host::Host(sim::Simulator& sim, HostConfig config)
     };
     auto napi =
         std::make_unique<NicNapi>("eth", nic_->queue(q), std::move(ctx));
+    napi->bind_telemetry(telemetry_.registry,
+                         "nic.q" + std::to_string(q) + ".");
     NicNapi* napi_ptr = napi.get();
     nic_->queue(q).set_irq_handler([this, cpu_idx, napi_ptr] {
+      if (tracer_ != nullptr) {
+        tracer_->instant(track_base_ + cpu_idx, irq_name_, sim_.now());
+      }
       PerCpu& target = *per_cpu_[static_cast<std::size_t>(cpu_idx)];
       target.cpu->run_softirq([this, cpu_idx, napi_ptr] {
         per_cpu_[static_cast<std::size_t>(cpu_idx)]->engine->napi_schedule(
@@ -102,6 +116,12 @@ Host::Host(sim::Simulator& sim, HostConfig config)
   proc_ = std::make_unique<prism::ProcInterface>(
       priority_db_, [this](NapiMode m) { set_mode(m); },
       [this] { return mode(); });
+  proc_->register_file("net/softnet_stat",
+                       [this] { return softnet_stat(); });
+  proc_->register_file("net/dev", [this] { return net_dev(); });
+  proc_->register_file("prism/telemetry", [this] {
+    return telemetry::registry_json(telemetry_.registry);
+  });
 }
 
 Host::~Host() = default;
@@ -127,6 +147,14 @@ overlay::Bridge& Host::bridge(std::uint32_t vni) {
     }
     bundle.bridge = std::make_unique<overlay::Bridge>(
         vni, cfg_.cost, *bundle.fdb, transitions, backlogs);
+    // All of a bridge's per-CPU stages/cells share one prefix so the
+    // counters aggregate across CPUs, like a real bridge's device stats.
+    const std::string prefix = "overlay.br" + std::to_string(vni) + ".";
+    for (int c = 0; c < cfg_.num_cpus; ++c) {
+      bundle.bridge->stage(c).bind_telemetry(telemetry_.registry, prefix);
+      bundle.bridge->cell(c).bind_telemetry(telemetry_.registry,
+                                            prefix + "cell.");
+    }
     if (!cfg_.rps_cpus.empty()) {
       std::vector<overlay::RpsTarget> targets;
       for (const int c : cfg_.rps_cpus) {
@@ -240,6 +268,7 @@ void Host::deliver_local(BridgeBundle& bundle, net::PacketBuf frame) {
 UdpSocket& Host::udp_bind(overlay::Netns& ns, std::uint16_t port,
                           std::size_t capacity) {
   auto sock = std::make_unique<UdpSocket>(sim_, port, capacity);
+  sock->bind_telemetry(telemetry_.registry, "sockets.");
   ns.sockets().bind_udp(*sock);
   udp_sockets_.push_back(std::move(sock));
   return *udp_sockets_.back();
@@ -286,6 +315,77 @@ void Host::udp_send(overlay::Netns& ns, Cpu& cpu, std::uint16_t src_port,
     });
     return cost;
   });
+}
+
+void Host::set_span_tracer(telemetry::SpanTracer* tracer, int track_base) {
+  tracer_ = tracer;
+  track_base_ = track_base;
+  if (tracer != nullptr) {
+    irq_name_ = tracer->intern("irq");
+    for (int i = 0; i < cfg_.num_cpus; ++i) {
+      tracer->set_track_label(track_base + i,
+                              cfg_.name + ".cpu" + std::to_string(i));
+      per_cpu_[static_cast<std::size_t>(i)]->engine->set_span_tracer(
+          tracer, track_base + i);
+    }
+  } else {
+    for (auto& pc : per_cpu_) pc->engine->set_span_tracer(nullptr, 0);
+  }
+}
+
+std::vector<telemetry::SoftnetRow> Host::softnet_rows() {
+  std::vector<telemetry::SoftnetRow> rows;
+  rows.reserve(per_cpu_.size());
+  for (int i = 0; i < cfg_.num_cpus; ++i) {
+    const PerCpu& pc = *per_cpu_[static_cast<std::size_t>(i)];
+    telemetry::SoftnetRow row;
+    row.cpu = static_cast<std::uint32_t>(i);
+    row.processed = pc.engine->packets_processed();
+    row.dropped = pc.backlog->low_dropped() + pc.backlog->high_dropped();
+    row.time_squeeze = pc.engine->time_squeezes();
+    // RPS steering is counted at the sending bridge stage, which is not
+    // per-receiving-CPU attributable; the column stays 0 as on hosts
+    // without RPS configured.
+    row.received_rps = 0;
+    row.backlog_len = pc.backlog->pending_total();
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<telemetry::NetDevRow> Host::net_dev_rows() {
+  std::vector<telemetry::NetDevRow> rows;
+  rows.push_back(telemetry::NetDevRow{"eth0", nic_->rx_frames(),
+                                      nic_->rx_dropped(),
+                                      nic_->tx_frames()});
+  for (auto& [vni, bundle] : bridges_) {
+    telemetry::NetDevRow row;
+    row.name = "br" + std::to_string(vni);
+    for (int c = 0; c < cfg_.num_cpus; ++c) {
+      overlay::BridgeStage& stage = bundle.bridge->stage(c);
+      row.rx_packets += stage.forwarded() + stage.dropped();
+      row.rx_dropped += stage.dropped();
+    }
+    rows.push_back(std::move(row));
+  }
+  telemetry::NetDevRow veth;
+  veth.name = "veth";
+  for (auto& pc : per_cpu_) {
+    veth.rx_packets += pc->backlog_stage->delivered();
+    veth.rx_dropped += pc->backlog_stage->dropped() +
+                       pc->backlog->low_dropped() +
+                       pc->backlog->high_dropped();
+  }
+  rows.push_back(std::move(veth));
+  return rows;
+}
+
+std::string Host::softnet_stat() {
+  return telemetry::render_softnet_stat(softnet_rows());
+}
+
+std::string Host::net_dev() {
+  return telemetry::render_net_dev(net_dev_rows());
 }
 
 TcpEndpoint& Host::tcp_create(overlay::Netns& ns, net::Ipv4Addr remote_ip,

@@ -33,6 +33,8 @@
 #include "prism/priority_db.h"
 #include "prism/proc_interface.h"
 #include "sim/simulator.h"
+#include "telemetry/snapshot.h"
+#include "telemetry/telemetry.h"
 
 namespace prism::kernel {
 
@@ -148,6 +150,29 @@ class Host {
     return *nic_napis_[static_cast<std::size_t>(queue)];
   }
 
+  /// The host's metrics registry + span tracer. Every component's
+  /// counters are registered at construction under stable prefixes
+  /// ("nic.q0.", "cpu0.", "overlay.br<vni>.", "sockets."); the hot path
+  /// only increments the resolved handles.
+  telemetry::Telemetry& telemetry() noexcept { return telemetry_; }
+  telemetry::Registry& metrics() noexcept { return telemetry_.registry; }
+
+  /// Attaches a span tracer to every CPU's engine and the NIC IRQ lines.
+  /// CPU i records on track `track_base + i` (labelled "<host>.cpu<i>");
+  /// pass distinct bases when two hosts share one tracer. nullptr
+  /// detaches.
+  void set_span_tracer(telemetry::SpanTracer* tracer, int track_base = 0);
+
+  /// Per-CPU softnet_stat rows assembled from live component counters.
+  std::vector<telemetry::SoftnetRow> softnet_rows();
+  /// Per-device rx/tx rows (eth, per-VNI bridge, veth aggregate).
+  std::vector<telemetry::NetDevRow> net_dev_rows();
+  /// /proc/net/softnet_stat rendering (also readable via
+  /// proc().read("net/softnet_stat")).
+  std::string softnet_stat();
+  /// /proc/net/dev-like rendering (proc().read("net/dev")).
+  std::string net_dev();
+
  private:
   struct PerCpu {
     std::unique_ptr<Cpu> cpu;
@@ -173,6 +198,12 @@ class Host {
 
   sim::Simulator& sim_;
   HostConfig cfg_;
+  /// Declared before every component so the registry (whose counters the
+  /// components hold resolved pointers into) outlives them on teardown.
+  telemetry::Telemetry telemetry_;
+  telemetry::SpanTracer* tracer_ = nullptr;
+  int track_base_ = 0;
+  telemetry::SpanTracer::NameId irq_name_ = 0;
   std::vector<int> queue_cpu_map_;
   std::unique_ptr<nic::Nic> nic_;
   std::vector<std::unique_ptr<PerCpu>> per_cpu_;

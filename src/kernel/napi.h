@@ -15,6 +15,7 @@
 #include "kernel/cost_model.h"
 #include "kernel/skb.h"
 #include "sim/time.h"
+#include "telemetry/metrics.h"
 
 namespace prism::kernel {
 
@@ -102,10 +103,30 @@ class NapiStruct {
     auto& q = queues[static_cast<std::size_t>(level)];
     if (q.size() >= queue_limit) {
       ++(level > 0 ? high_dropped_ : low_dropped_);
+      t_dropped_->inc();
       return false;
     }
     q.push_back(std::move(skb));
+    t_enqueued_->inc();
+    t_depth_->set(static_cast<std::int64_t>(q.size()));
     return true;
+  }
+
+  /// Binds this device's enqueue/drop counters and per-queue depth
+  /// watermark under `prefix` (several devices may share a prefix for
+  /// aggregate counting). Unbound devices count into the telemetry sink.
+  void bind_telemetry(telemetry::Registry& reg, const std::string& prefix) {
+    t_enqueued_ = &reg.counter(prefix + "enqueued");
+    t_dropped_ = &reg.counter(prefix + "dropped");
+    t_depth_ = &reg.gauge(prefix + "depth");
+  }
+
+  /// Packets currently queued across all priority levels (softnet
+  /// backlog_len for backlog napis).
+  std::size_t pending_total() const noexcept {
+    std::size_t n = 0;
+    for (const auto& q : queues) n += q.size();
+    return n;
   }
 
   /// Highest priority level with packets pending; -1 when all empty.
@@ -145,6 +166,9 @@ class NapiStruct {
   std::string name_;
   std::uint64_t low_dropped_ = 0;
   std::uint64_t high_dropped_ = 0;
+  telemetry::Counter* t_enqueued_ = &telemetry::Counter::sink();
+  telemetry::Counter* t_dropped_ = &telemetry::Counter::sink();
+  telemetry::Gauge* t_depth_ = &telemetry::Gauge::sink();
 };
 
 /// Queue-backed napi used by the bridge's gro_cells and the per-CPU

@@ -7,7 +7,7 @@ namespace prism::kernel {
 
 NetRxEngine::NetRxEngine(sim::Simulator& sim, Cpu& cpu,
                          const CostModel& cost, NapiMode mode)
-    : sim_(sim), cpu_(cpu), cost_(cost), mode_(mode) {}
+    : sim_(sim), cpu_(cpu), cost_(cost), mode_(mode), track_(cpu.id()) {}
 
 void NetRxEngine::set_mode(NapiMode mode) {
   if (!idle()) {
@@ -15,6 +15,25 @@ void NetRxEngine::set_mode(NapiMode mode) {
         "NetRxEngine::set_mode: engine must be idle to switch modes");
   }
   mode_ = mode;
+}
+
+void NetRxEngine::set_span_tracer(telemetry::SpanTracer* tracer,
+                                  int track) {
+  tracer_ = tracer;
+  track_ = track;
+  if (tracer_ != nullptr) {
+    softirq_span_name_ = tracer_->intern("net_rx_action");
+  }
+}
+
+void NetRxEngine::bind_telemetry(telemetry::Registry& reg,
+                                 const std::string& prefix) {
+  t_softirqs_ = &reg.counter(prefix + "softirqs");
+  t_polls_ = &reg.counter(prefix + "polls");
+  t_packets_ = &reg.counter(prefix + "packets");
+  t_time_squeeze_ = &reg.counter(prefix + "time_squeeze");
+  t_requeues_ = &reg.counter(prefix + "requeues");
+  t_head_inserts_ = &reg.counter(prefix + "prism_head_inserts");
 }
 
 void NetRxEngine::napi_schedule(NapiStruct& napi, bool high) {
@@ -35,6 +54,8 @@ void NetRxEngine::napi_schedule(NapiStruct& napi, bool high) {
       napi.scheduled = true;
       if (head) {
         global_list_.push_front(&napi);
+        ++head_inserts_;
+        t_head_inserts_->inc();
       } else {
         global_list_.push_back(&napi);
       }
@@ -42,6 +63,8 @@ void NetRxEngine::napi_schedule(NapiStruct& napi, bool high) {
       auto it = std::find(global_list_.begin(), global_list_.end(), &napi);
       if (it != global_list_.end()) {
         global_list_.splice(global_list_.begin(), global_list_, it);
+        ++head_inserts_;
+        t_head_inserts_->inc();
       }
       // If the device is not in the list it is being polled right now;
       // the post-poll requeue (has_high_pending -> head) handles it.
@@ -60,6 +83,7 @@ sim::Duration NetRxEngine::entry_chunk() {
   softirq_pending_ = false;
   in_softirq_ = true;
   ++softirqs_;
+  t_softirqs_->inc();
   budget_ = cost_.napi_budget;
   if (mode_ == NapiMode::kVanilla) {
     // Fig. 2 line 8: move the global POLL_LIST onto the local list. This
@@ -67,6 +91,10 @@ sim::Duration NetRxEngine::entry_chunk() {
     local_list_.splice(local_list_.end(), global_list_);
   }
   cpu_.run_softirq([this] { return poll_chunk(); });
+  if (tracer_ != nullptr) {
+    tracer_->span(track_, softirq_span_name_, sim_.now(),
+                  cost_.softirq_entry);
+  }
   return cost_.softirq_entry;
 }
 
@@ -80,10 +108,13 @@ sim::Duration NetRxEngine::poll_chunk() {
   NapiStruct* dev = list.front();
   list.pop_front();
 
-  const PollOutcome out = dev->poll(cost_.napi_batch_size, sim_.now());
+  const sim::Time poll_start = sim_.now();
+  const PollOutcome out = dev->poll(cost_.napi_batch_size, poll_start);
   budget_ -= out.processed;
   ++polls_;
+  t_polls_->inc();
   packets_ += static_cast<std::uint64_t>(out.processed);
+  t_packets_->inc(static_cast<std::uint64_t>(out.processed));
 
   if (mode_ == NapiMode::kVanilla) {
     // Fig. 2 lines 16-17: a device with remaining packets is appended to
@@ -91,6 +122,8 @@ sim::Duration NetRxEngine::poll_chunk() {
     // net_rx_action invocation, which is what interleaves batches.
     if (out.has_more) {
       global_list_.push_back(dev);
+      ++requeues_;
+      t_requeues_->inc();
     } else {
       dev->scheduled = false;
       dev->on_complete();
@@ -99,20 +132,34 @@ sim::Duration NetRxEngine::poll_chunk() {
     // Fig. 7 lines 13-16: requeue by pending priority.
     if (dev->has_high_pending() && mode_ != NapiMode::kPrismQueues) {
       global_list_.push_front(dev);
+      ++requeues_;
+      t_requeues_->inc();
+      ++head_inserts_;
+      t_head_inserts_->inc();
     } else if (dev->has_pending()) {
       global_list_.push_back(dev);
+      ++requeues_;
+      t_requeues_->inc();
     } else {
       dev->scheduled = false;
       dev->on_complete();
     }
   }
 
-  if (trace_) {
-    trace_->on_poll(sim_.now(), dev->name(), snapshot(), out.processed);
+  if (trace_ != nullptr) trace_poll(dev, out.processed);
+  if (tracer_ != nullptr) {
+    tracer_->span(track_, tracer_->intern(dev->name()), poll_start,
+                  out.cost, static_cast<std::uint32_t>(out.processed));
   }
 
   auto& cur = mode_ == NapiMode::kVanilla ? local_list_ : global_list_;
   if (budget_ <= 0 || cur.empty()) {
+    if (budget_ <= 0 && !cur.empty()) {
+      // Work remained but the budget ran out — what softnet_stat's
+      // time_squeeze column counts.
+      ++time_squeezes_;
+      t_time_squeeze_->inc();
+    }
     finish_softirq();
   } else {
     cpu_.run_softirq([this] { return poll_chunk(); });
@@ -133,12 +180,17 @@ void NetRxEngine::finish_softirq() {
   if (!global_list_.empty()) raise_softirq();
 }
 
-std::vector<std::string> NetRxEngine::snapshot() const {
-  std::vector<std::string> out;
-  out.reserve(local_list_.size() + global_list_.size());
-  for (const auto* d : local_list_) out.push_back(d->name());
-  for (const auto* d : global_list_) out.push_back(d->name());
-  return out;
+void NetRxEngine::trace_poll(NapiStruct* dev, int processed) {
+  trace_scratch_.clear();
+  for (const auto* d : local_list_) {
+    trace_scratch_.push_back(trace_->intern(d->name()));
+  }
+  for (const auto* d : global_list_) {
+    trace_scratch_.push_back(trace_->intern(d->name()));
+  }
+  trace_->on_poll_ids(sim_.now(), trace_->intern(dev->name()),
+                      trace_scratch_.data(), trace_scratch_.size(),
+                      processed);
 }
 
 }  // namespace prism::kernel

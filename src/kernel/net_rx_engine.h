@@ -33,6 +33,8 @@
 #include "kernel/cpu.h"
 #include "kernel/napi.h"
 #include "sim/simulator.h"
+#include "telemetry/metrics.h"
+#include "telemetry/span_tracer.h"
 #include "trace/poll_trace.h"
 
 namespace prism::kernel {
@@ -67,17 +69,32 @@ class NetRxEngine {
   /// Attaches a poll-order trace collector (may be nullptr to detach).
   void set_poll_trace(trace::PollTrace* trace) noexcept { trace_ = trace; }
 
+  /// Attaches a timeline span tracer (nullptr detaches). Softirq entries
+  /// and device polls are recorded as spans on `track` (one row per CPU
+  /// in the exported trace; multi-host setups offset the track).
+  void set_span_tracer(telemetry::SpanTracer* tracer, int track);
+
+  /// Registers this engine's counters under `prefix` (e.g. "cpu0.").
+  void bind_telemetry(telemetry::Registry& reg, const std::string& prefix);
+
   // Counters for tests and diagnostics.
   std::uint64_t softirq_invocations() const noexcept { return softirqs_; }
   std::uint64_t polls() const noexcept { return polls_; }
   std::uint64_t packets_processed() const noexcept { return packets_; }
+  /// Softirq returns forced by budget exhaustion with work remaining —
+  /// the kernel's softnet_stat time_squeeze column.
+  std::uint64_t time_squeezes() const noexcept { return time_squeezes_; }
+  /// Devices put back on the poll list with packets still pending.
+  std::uint64_t requeues() const noexcept { return requeues_; }
+  /// PRISM head insertions/moves (batch-level preemptions).
+  std::uint64_t head_inserts() const noexcept { return head_inserts_; }
 
  private:
   void raise_softirq();
   sim::Duration entry_chunk();
   sim::Duration poll_chunk();
   void finish_softirq();
-  std::vector<std::string> snapshot() const;
+  void trace_poll(NapiStruct* dev, int processed);
 
   sim::Simulator& sim_;
   Cpu& cpu_;
@@ -94,9 +111,22 @@ class NetRxEngine {
   int budget_ = 0;
 
   trace::PollTrace* trace_ = nullptr;
+  std::vector<trace::PollTrace::NameId> trace_scratch_;
+  telemetry::SpanTracer* tracer_ = nullptr;
+  int track_ = 0;
+  telemetry::SpanTracer::NameId softirq_span_name_ = 0;
   std::uint64_t softirqs_ = 0;
   std::uint64_t polls_ = 0;
   std::uint64_t packets_ = 0;
+  std::uint64_t time_squeezes_ = 0;
+  std::uint64_t requeues_ = 0;
+  std::uint64_t head_inserts_ = 0;
+  telemetry::Counter* t_softirqs_ = &telemetry::Counter::sink();
+  telemetry::Counter* t_polls_ = &telemetry::Counter::sink();
+  telemetry::Counter* t_packets_ = &telemetry::Counter::sink();
+  telemetry::Counter* t_time_squeeze_ = &telemetry::Counter::sink();
+  telemetry::Counter* t_requeues_ = &telemetry::Counter::sink();
+  telemetry::Counter* t_head_inserts_ = &telemetry::Counter::sink();
 };
 
 }  // namespace prism::kernel

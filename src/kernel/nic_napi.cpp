@@ -54,6 +54,7 @@ PollOutcome NicNapi::poll(int batch, sim::Time start) {
     net::ParsedFrame parsed;
     if (!net::parse_frame_into(entry->frame.bytes(), parsed)) {
       ++dropped_;
+      t_unroutable_->inc();
       out.cost += scaled(ctx_.cost->nic_stage_per_packet);
       continue;
     }
@@ -100,6 +101,7 @@ PollOutcome NicNapi::poll(int batch, sim::Time start) {
                                        : nullptr;
       if (bridge == nullptr) {
         ++dropped_;
+        t_unroutable_->inc();
         out.cost += scaled(ctx_.cost->nic_stage_per_packet);
         continue;
       }
@@ -125,6 +127,7 @@ PollOutcome NicNapi::poll(int batch, sim::Time start) {
       skb->parsed = std::move(parsed);
     } else {
       ++dropped_;
+      t_unroutable_->inc();
       out.cost += scaled(ctx_.cost->nic_stage_per_packet);
       continue;
     }
@@ -137,6 +140,7 @@ PollOutcome NicNapi::poll(int batch, sim::Time start) {
       ++slot.skb->segments;
       ++slot.count;
       ++gro_merged_;
+      t_gro_merged_->inc();
       out.cost += scaled(ctx_.cost->gro_merge_per_segment);
       continue;
     }

@@ -70,6 +70,12 @@ class NicNapi final : public NapiStruct {
   std::uint64_t dropped_unroutable() const noexcept { return dropped_; }
   std::uint64_t gro_merged() const noexcept { return gro_merged_; }
 
+  /// Registers driver-poll counters under `prefix` (e.g. "nic.q0.").
+  void bind_telemetry(telemetry::Registry& reg, const std::string& prefix) {
+    t_unroutable_ = &reg.counter(prefix + "unroutable_drops");
+    t_gro_merged_ = &reg.counter(prefix + "gro_merged");
+  }
+
  private:
   /// Where a classified frame goes next.
   struct Route {
@@ -91,6 +97,8 @@ class NicNapi final : public NapiStruct {
   NicNapiContext ctx_;
   std::uint64_t dropped_ = 0;
   std::uint64_t gro_merged_ = 0;
+  telemetry::Counter* t_unroutable_ = &telemetry::Counter::sink();
+  telemetry::Counter* t_gro_merged_ = &telemetry::Counter::sink();
 };
 
 }  // namespace prism::kernel

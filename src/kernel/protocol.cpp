@@ -35,12 +35,14 @@ sim::Duration SocketDeliverer::deliver_frame(
   const auto* parsed = pre_parsed;
   if (!parsed) {
     ++drops_;
+    t_no_socket_drops_->inc();
     return 0;
   }
   if (parsed->udp) {
     UdpSocket* sock = ns.sockets().lookup_udp(parsed->udp->dst_port);
     if (sock == nullptr) {
       ++drops_;
+      t_no_socket_drops_->inc();
       return 0;
     }
     Datagram d;
@@ -54,19 +56,23 @@ sim::Duration SocketDeliverer::deliver_frame(
     d.ts = skb.ts;
     sock->enqueue(std::move(d), at);
     ++delivered_;
+    t_delivered_->inc();
     return 0;
   }
   if (parsed->tcp) {
     TcpEndpoint* ep = ns.sockets().lookup_tcp(net::flow_of(*parsed));
     if (ep == nullptr) {
       ++drops_;
+      t_no_socket_drops_->inc();
       return 0;
     }
     ++delivered_;
+    t_delivered_->inc();
     return ep->handle_segment(*parsed->tcp, parsed->l4_payload, at,
                               final_frame);
   }
   ++drops_;
+  t_no_socket_drops_->inc();
   return 0;
 }
 

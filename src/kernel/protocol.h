@@ -11,6 +11,7 @@
 #include "kernel/cost_model.h"
 #include "kernel/skb.h"
 #include "sim/simulator.h"
+#include "telemetry/metrics.h"
 #include "trace/packet_trace.h"
 
 namespace prism::overlay {
@@ -38,6 +39,12 @@ class SocketDeliverer {
   std::uint64_t no_socket_drops() const noexcept { return drops_; }
   std::uint64_t delivered() const noexcept { return delivered_; }
 
+  /// Registers delivery counters under `prefix` (e.g. "sockets.").
+  void bind_telemetry(telemetry::Registry& reg, const std::string& prefix) {
+    t_delivered_ = &reg.counter(prefix + "delivered");
+    t_no_socket_drops_ = &reg.counter(prefix + "no_socket_drops");
+  }
+
  private:
   /// `pre_parsed` (optional) is the caller's existing parse of `frame` —
   /// the skb's cached head-frame parse — reused instead of re-parsing.
@@ -52,6 +59,8 @@ class SocketDeliverer {
   trace::PacketTrace* trace_ = nullptr;
   std::uint64_t drops_ = 0;
   std::uint64_t delivered_ = 0;
+  telemetry::Counter* t_delivered_ = &telemetry::Counter::sink();
+  telemetry::Counter* t_no_socket_drops_ = &telemetry::Counter::sink();
 };
 
 }  // namespace prism::kernel

@@ -22,10 +22,13 @@ void UdpSocket::enqueue(Datagram d, sim::Time at) {
   sim_.schedule_at(at, [this, d = std::move(d)]() mutable {
     if (queue_.size() >= capacity_) {
       ++dropped_;
+      t_dropped_->inc();
       return;
     }
     ++received_;
+    t_enqueued_->inc();
     queue_.push_back(std::move(d));
+    t_depth_->set(static_cast<std::int64_t>(queue_.size()));
     if (on_readable_) on_readable_();
   });
 }

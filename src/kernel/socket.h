@@ -18,6 +18,7 @@
 #include "net/ip.h"
 #include "sim/pool.h"
 #include "sim/simulator.h"
+#include "telemetry/metrics.h"
 
 namespace prism::kernel {
 
@@ -76,6 +77,14 @@ class UdpSocket {
   std::uint64_t received() const noexcept { return received_; }
   std::uint64_t dropped() const noexcept { return dropped_; }
 
+  /// Registers receive-buffer counters under `prefix`. Several sockets
+  /// may share one prefix (aggregate rcvbuf accounting per host).
+  void bind_telemetry(telemetry::Registry& reg, const std::string& prefix) {
+    t_enqueued_ = &reg.counter(prefix + "rcvbuf_enqueued");
+    t_dropped_ = &reg.counter(prefix + "rcvbuf_drops");
+    t_depth_ = &reg.gauge(prefix + "rcvbuf_depth");
+  }
+
  private:
   sim::Simulator& sim_;
   std::uint16_t port_;
@@ -84,6 +93,9 @@ class UdpSocket {
   std::function<void()> on_readable_;
   std::uint64_t received_ = 0;
   std::uint64_t dropped_ = 0;
+  telemetry::Counter* t_enqueued_ = &telemetry::Counter::sink();
+  telemetry::Counter* t_dropped_ = &telemetry::Counter::sink();
+  telemetry::Gauge* t_depth_ = &telemetry::Gauge::sink();
 };
 
 /// Per-namespace socket demultiplexer.

@@ -12,9 +12,11 @@ sim::Duration BacklogStage::process_one(SkbPtr skb, sim::Time at,
   skb->ts.stage3_done = at + cost;
   if (skb->dst_netns == nullptr) {
     ++dropped_;
+    t_dropped_->inc();
     return cost;
   }
   ++delivered_;
+  t_delivered_->inc();
   cost += deliverer_.deliver(*skb, at + cost, *skb->dst_netns);
   return cost;
 }

@@ -36,12 +36,20 @@ class BacklogStage final : public PacketStage {
   std::uint64_t delivered() const noexcept { return delivered_; }
   std::uint64_t dropped() const noexcept { return dropped_; }
 
+  /// Registers stage counters under `prefix` (e.g. "cpu0.veth.").
+  void bind_telemetry(telemetry::Registry& reg, const std::string& prefix) {
+    t_delivered_ = &reg.counter(prefix + "delivered");
+    t_dropped_ = &reg.counter(prefix + "dropped");
+  }
+
  private:
   std::string name_;
   const CostModel& cost_;
   SocketDeliverer& deliverer_;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;
+  telemetry::Counter* t_delivered_ = &telemetry::Counter::sink();
+  telemetry::Counter* t_dropped_ = &telemetry::Counter::sink();
 };
 
 }  // namespace prism::kernel

@@ -23,13 +23,26 @@ void RxQueue::set_irq_handler(std::function<void()> handler) {
   irq_handler_ = std::move(handler);
 }
 
+void RxQueue::bind_telemetry(telemetry::Registry& reg,
+                             const std::string& prefix) {
+  t_frames_ = &reg.counter(prefix + "frames");
+  t_ring_drops_ = &reg.counter(prefix + "ring_drops");
+  t_irqs_ = &reg.counter(prefix + "irqs");
+  t_irq_unmask_ = &reg.counter(prefix + "irq_unmask");
+  t_mod_fires_ = &reg.counter(prefix + "moderation_fires");
+  t_ring_depth_ = &reg.gauge(prefix + "ring_depth");
+}
+
 void RxQueue::push(net::PacketBuf frame) {
   if (ring_.size() >= capacity_) {
     ++dropped_;
+    t_ring_drops_->inc();
     return;
   }
   ring_.push_back(Entry{std::move(frame), sim_.now()});
   ++received_;
+  t_frames_->inc();
+  t_ring_depth_->set(static_cast<std::int64_t>(ring_.size()));
   maybe_fire();
 }
 
@@ -52,6 +65,7 @@ void RxQueue::maybe_fire() {
   sim_.schedule_at(last_fire_ + coalesce_.usecs, [this, epoch] {
     if (epoch != epoch_) return;  // an earlier fire superseded this timer
     timer_armed_ = false;
+    t_mod_fires_->inc();
     if (irq_enabled_ && !ring_.empty()) fire_irq();
   });
 }
@@ -65,6 +79,7 @@ std::optional<RxQueue::Entry> RxQueue::pop() {
 
 void RxQueue::enable_irq() {
   irq_enabled_ = true;
+  t_irq_unmask_->inc();
   maybe_fire();
 }
 
@@ -74,6 +89,7 @@ void RxQueue::fire_irq() {
   ++epoch_;
   timer_armed_ = false;
   ++irqs_;
+  t_irqs_->inc();
   if (irq_handler_) irq_handler_();
 }
 
@@ -90,16 +106,28 @@ Nic::Nic(sim::Simulator& sim, int num_queues, std::size_t ring_capacity,
   }
 }
 
+void Nic::bind_telemetry(telemetry::Registry& reg,
+                         const std::string& prefix) {
+  t_tx_ = &reg.counter(prefix + "tx_frames");
+  t_rx_ = &reg.counter(prefix + "rx_frames");
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    queues_[i]->bind_telemetry(reg,
+                               prefix + "q" + std::to_string(i) + ".");
+  }
+}
+
 void Nic::transmit(net::PacketBuf frame) {
   if (wire_ == nullptr) {
     throw std::logic_error("Nic::transmit: no wire attached");
   }
   ++tx_frames_;
+  t_tx_->inc();
   wire_->transmit_from(*this, std::move(frame));
 }
 
 void Nic::receive(net::PacketBuf frame) {
   ++rx_frames_;
+  t_rx_->inc();
   const int q = rss_hash(frame.bytes());
   queues_[static_cast<std::size_t>(q)]->push(std::move(frame));
 }

@@ -22,6 +22,7 @@
 
 #include "net/packet.h"
 #include "sim/simulator.h"
+#include "telemetry/metrics.h"
 
 namespace prism::nic {
 
@@ -77,6 +78,9 @@ class RxQueue {
   std::uint64_t frames_dropped() const noexcept { return dropped_; }
   std::uint64_t irqs_fired() const noexcept { return irqs_; }
 
+  /// Registers this queue's counters under `prefix` (e.g. "nic.q0.").
+  void bind_telemetry(telemetry::Registry& reg, const std::string& prefix);
+
  private:
   void maybe_fire();
   void fire_irq();
@@ -93,6 +97,12 @@ class RxQueue {
   std::uint64_t received_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t irqs_ = 0;
+  telemetry::Counter* t_frames_ = &telemetry::Counter::sink();
+  telemetry::Counter* t_ring_drops_ = &telemetry::Counter::sink();
+  telemetry::Counter* t_irqs_ = &telemetry::Counter::sink();
+  telemetry::Counter* t_irq_unmask_ = &telemetry::Counter::sink();
+  telemetry::Counter* t_mod_fires_ = &telemetry::Counter::sink();
+  telemetry::Gauge* t_ring_depth_ = &telemetry::Gauge::sink();
 };
 
 /// Multi-queue NIC attached to one wire.
@@ -125,6 +135,10 @@ class Nic {
   /// Total drops across all queue rings.
   std::uint64_t rx_dropped() const;
 
+  /// Registers NIC-level counters under `prefix` and each queue's
+  /// counters under `prefix` + "q<i>.".
+  void bind_telemetry(telemetry::Registry& reg, const std::string& prefix);
+
  private:
   int rss_hash(std::span<const std::uint8_t> frame) const;
 
@@ -133,6 +147,8 @@ class Nic {
   Wire* wire_ = nullptr;
   std::uint64_t tx_frames_ = 0;
   std::uint64_t rx_frames_ = 0;
+  telemetry::Counter* t_tx_ = &telemetry::Counter::sink();
+  telemetry::Counter* t_rx_ = &telemetry::Counter::sink();
 };
 
 }  // namespace prism::nic

@@ -25,9 +25,11 @@ sim::Duration BridgeStage::process_one(kernel::SkbPtr skb, sim::Time at,
     // entries for every container a miss is a wiring error — drop and
     // count so tests catch it.
     ++dropped_;
+    t_fdb_drops_->inc();
     return cost;
   }
   ++forwarded_;
+  t_forwarded_->inc();
   skb->dst_netns = dst;
   skb->stage = 3;
 
@@ -50,6 +52,7 @@ sim::Duration BridgeStage::process_one(kernel::SkbPtr skb, sim::Time at,
     const RpsTarget& target = rps_targets_[hash % rps_targets_.size()];
     if (target.backlog != &backlog_) {
       ++rps_steered_;
+      t_rps_steered_->inc();
       cost += cost_.rps_steer_cost;
       // The packet becomes visible on the target CPU one IPI later.
       sim_->schedule_at(

@@ -57,6 +57,14 @@ class BridgeStage final : public kernel::PacketStage {
   std::uint64_t dropped() const noexcept { return dropped_; }
   std::uint64_t rps_steered() const noexcept { return rps_steered_; }
 
+  /// Registers forwarding counters under `prefix` (e.g. "overlay.br42.").
+  /// The per-CPU stages of one bridge share a prefix and aggregate.
+  void bind_telemetry(telemetry::Registry& reg, const std::string& prefix) {
+    t_forwarded_ = &reg.counter(prefix + "forwarded");
+    t_fdb_drops_ = &reg.counter(prefix + "fdb_drops");
+    t_rps_steered_ = &reg.counter(prefix + "rps_steered");
+  }
+
  private:
   std::string name_;
   const kernel::CostModel& cost_;
@@ -68,6 +76,9 @@ class BridgeStage final : public kernel::PacketStage {
   std::uint64_t forwarded_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint64_t rps_steered_ = 0;
+  telemetry::Counter* t_forwarded_ = &telemetry::Counter::sink();
+  telemetry::Counter* t_fdb_drops_ = &telemetry::Counter::sink();
+  telemetry::Counter* t_rps_steered_ = &telemetry::Counter::sink();
 };
 
 /// One overlay bridge (one VNI) on one host: FDB plus per-CPU gro_cells.

@@ -84,7 +84,15 @@ std::string ProcInterface::read(std::string_view path) const {
   if (path == kPriorityPath) {
     return std::to_string(db_.size());
   }
+  if (const auto it = files_.find(path); it != files_.end()) {
+    return it->second();
+  }
   return "";
+}
+
+void ProcInterface::register_file(std::string path,
+                                  std::function<std::string()> reader) {
+  files_[std::move(path)] = std::move(reader);
 }
 
 }  // namespace prism::prism

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <string>
 #include <string_view>
 
@@ -41,10 +42,17 @@ class ProcInterface {
   /// paths.
   std::string read(std::string_view path) const;
 
+  /// Registers a read-only synthetic file (e.g. "net/softnet_stat" backed
+  /// by the host's telemetry). Re-registering a path replaces its reader;
+  /// writes to registered files fail like a read-only procfs entry.
+  void register_file(std::string path,
+                     std::function<std::string()> reader);
+
  private:
   PriorityDb& db_;
   std::function<void(kernel::NapiMode)> set_mode_;
   std::function<kernel::NapiMode()> get_mode_;
+  std::map<std::string, std::function<std::string()>, std::less<>> files_;
 };
 
 }  // namespace prism::prism

@@ -1,0 +1,161 @@
+// Minimal streaming JSON writer.
+//
+// One shared implementation for every machine-readable artifact the repo
+// emits (bench result files, the telemetry block, Chrome trace export),
+// replacing the hand-rolled fprintf JSON that used to live in bench/.
+// Handles comma placement and string escaping; the caller is responsible
+// for balanced begin/end calls.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace prism::telemetry {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() {
+    separate();
+    out_ += '{';
+    stack_.push_back(false);
+    return *this;
+  }
+
+  JsonWriter& end_object() {
+    stack_.pop_back();
+    out_ += '}';
+    return *this;
+  }
+
+  JsonWriter& begin_array() {
+    separate();
+    out_ += '[';
+    stack_.push_back(false);
+    return *this;
+  }
+
+  JsonWriter& end_array() {
+    stack_.pop_back();
+    out_ += ']';
+    return *this;
+  }
+
+  JsonWriter& key(std::string_view k) {
+    separate();
+    append_string(k);
+    out_ += ':';
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(std::string_view v) {
+    separate();
+    append_string(v);
+    return *this;
+  }
+
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+
+  JsonWriter& value(bool v) {
+    separate();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+
+  JsonWriter& value(double v) {
+    separate();
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    out_ += buf;
+    return *this;
+  }
+
+  JsonWriter& value(std::uint64_t v) {
+    separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+
+  JsonWriter& value(std::int64_t v) {
+    separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+
+  /// key + scalar value in one call.
+  template <typename T>
+  JsonWriter& member(std::string_view k, T&& v) {
+    key(k);
+    return value(std::forward<T>(v));
+  }
+
+  /// Inserts `json` verbatim as the next value. The caller guarantees it
+  /// is one well-formed JSON value (e.g. a registry_json() document).
+  JsonWriter& raw(std::string_view json) {
+    separate();
+    out_ += json;
+    return *this;
+  }
+
+  const std::string& str() const noexcept { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  /// Emits the comma before a new element of the enclosing container, and
+  /// marks that the container now has elements.
+  void separate() {
+    if (pending_key_) {
+      // This element is the value of a just-written key; no comma.
+      pending_key_ = false;
+      return;
+    }
+    if (!stack_.empty()) {
+      if (stack_.back()) out_ += ',';
+      stack_.back() = true;
+    }
+  }
+
+  void append_string(std::string_view s) {
+    out_ += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\r':
+          out_ += "\\r";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> stack_;  // per open container: "has elements"
+  bool pending_key_ = false;
+};
+
+}  // namespace prism::telemetry

@@ -1,0 +1,67 @@
+#include "telemetry/snapshot.h"
+
+#include <cstdio>
+
+#include "telemetry/json_writer.h"
+
+namespace prism::telemetry {
+
+std::string render_softnet_stat(const std::vector<SoftnetRow>& rows) {
+  std::string out;
+  char buf[192];
+  for (const auto& r : rows) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "%08llx %08llx %08llx 00000000 00000000 00000000 00000000 "
+        "00000000 00000000 %08llx %08llx %08llx %08x\n",
+        static_cast<unsigned long long>(r.processed),
+        static_cast<unsigned long long>(r.dropped),
+        static_cast<unsigned long long>(r.time_squeeze),
+        static_cast<unsigned long long>(r.received_rps),
+        static_cast<unsigned long long>(0),  // flow_limit_count
+        static_cast<unsigned long long>(r.backlog_len), r.cpu);
+    out += buf;
+  }
+  return out;
+}
+
+std::string render_net_dev(const std::vector<NetDevRow>& rows) {
+  std::string out =
+      "Inter-|   Receive                |  Transmit\n"
+      " face |  packets    drop         |  packets\n";
+  char buf[128];
+  for (const auto& r : rows) {
+    std::snprintf(buf, sizeof(buf), "%6s: %10llu %7llu %18llu\n",
+                  r.name.c_str(),
+                  static_cast<unsigned long long>(r.rx_packets),
+                  static_cast<unsigned long long>(r.rx_dropped),
+                  static_cast<unsigned long long>(r.tx_packets));
+    out += buf;
+  }
+  return out;
+}
+
+void write_registry_json(JsonWriter& w, const Registry& registry) {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& c : registry.counters()) w.member(c.name, c.value);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& g : registry.gauges()) {
+    w.key(g.name)
+        .begin_object()
+        .member("value", g.value)
+        .member("max", g.max_value)
+        .end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+std::string registry_json(const Registry& registry) {
+  JsonWriter w;
+  write_registry_json(w, registry);
+  return w.take();
+}
+
+}  // namespace prism::telemetry

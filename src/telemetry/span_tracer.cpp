@@ -1,0 +1,96 @@
+#include "telemetry/span_tracer.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "telemetry/json_writer.h"
+
+namespace prism::telemetry {
+
+SpanTracer::SpanTracer(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("SpanTracer: capacity must be positive");
+  }
+}
+
+SpanTracer::NameId SpanTracer::intern(std::string_view name) {
+  const auto it = name_index_.find(std::string(name));
+  if (it != name_index_.end()) return it->second;
+  if (names_.size() > 0xffff) {
+    throw std::length_error("SpanTracer: name table full");
+  }
+  const NameId id = static_cast<NameId>(names_.size());
+  names_.emplace_back(name);
+  name_index_.emplace(names_.back(), id);
+  return id;
+}
+
+std::string SpanTracer::export_chrome_trace(
+    std::string_view process_name) const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("traceEvents").begin_array();
+
+  // Metadata: process name, one thread row per labelled track.
+  w.begin_object()
+      .member("ph", "M")
+      .member("pid", 0)
+      .member("tid", 0)
+      .member("name", "process_name")
+      .key("args")
+      .begin_object()
+      .member("name", process_name)
+      .end_object()
+      .end_object();
+  for (const auto& [track, label] : track_labels_) {
+    w.begin_object()
+        .member("ph", "M")
+        .member("pid", 0)
+        .member("tid", track)
+        .member("name", "thread_name")
+        .key("args")
+        .begin_object()
+        .member("name", label)
+        .end_object()
+        .end_object();
+  }
+
+  const std::size_t n = size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Span& s = at(i);
+    w.begin_object();
+    w.member("pid", 0).member("tid", static_cast<int>(s.track));
+    w.member("name", name(s.name));
+    w.member("ts", static_cast<double>(s.begin) / 1e3);
+    if (s.instant) {
+      w.member("ph", "i").member("s", "t");
+    } else {
+      w.member("ph", "X");
+      w.member("dur", static_cast<double>(s.duration) / 1e3);
+      if (s.arg != 0) {
+        w.key("args")
+            .begin_object()
+            .member("packets", static_cast<std::uint64_t>(s.arg))
+            .end_object();
+      }
+    }
+    w.end_object();
+  }
+
+  w.end_array();
+  w.member("displayTimeUnit", "ns");
+  w.end_object();
+  return w.take();
+}
+
+bool SpanTracer::export_chrome_trace_file(
+    const std::string& path, std::string_view process_name) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = export_chrome_trace(process_name);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace prism::telemetry

@@ -1,0 +1,17 @@
+// Per-host telemetry bundle: metrics registry + timeline span tracer.
+#pragma once
+
+#include "telemetry/metrics.h"
+#include "telemetry/span_tracer.h"
+
+namespace prism::telemetry {
+
+/// Everything one Host's instrumentation binds to. The registry is always
+/// live (counters are near-free); the tracer only receives spans while a
+/// component has it attached.
+struct Telemetry {
+  Registry registry;
+  SpanTracer tracer;
+};
+
+}  // namespace prism::telemetry

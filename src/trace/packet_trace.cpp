@@ -1,15 +1,39 @@
 #include "trace/packet_trace.h"
 
 #include <cstdio>
+#include <stdexcept>
 
 namespace prism::trace {
+
+PacketTrace::PacketTrace(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("PacketTrace: capacity must be positive");
+  }
+}
+
+void PacketTrace::set_capacity(std::size_t capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("PacketTrace: capacity must be positive");
+  }
+  capacity_ = capacity;
+  clear();
+  ring_.shrink_to_fit();
+}
+
+std::vector<PacketTrace::Entry> PacketTrace::entries() const {
+  std::vector<Entry> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) out.push_back(entry(i));
+  return out;
+}
 
 double PacketTrace::mean_interval_ns(
     sim::Time kernel::SkbTimestamps::*from,
     sim::Time kernel::SkbTimestamps::*to) const {
   double sum = 0;
   std::uint64_t n = 0;
-  for (const auto& e : entries_) {
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const Entry& e = entry(i);
     const sim::Time a = e.ts.*from;
     const sim::Time b = e.ts.*to;
     if (a < 0 || b < 0) continue;

@@ -3,6 +3,10 @@
 // Collects the pipeline timestamps every delivered skb carries, enabling
 // the per-stage latency breakdowns behind the paper's analysis (where does
 // a packet spend its time: NIC ring, stage queues, socket).
+//
+// Entries are fixed-size and live in a bounded ring: long bench sweeps
+// keep the newest `capacity` packets and count the overwritten ones in
+// dropped_records() instead of growing without bound.
 #pragma once
 
 #include <cstdint>
@@ -24,13 +28,36 @@ class PacketTrace {
     int segments = 1;
   };
 
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit PacketTrace(std::size_t capacity = kDefaultCapacity);
+
   void on_delivered(const kernel::Skb& skb, sim::Time at) {
-    entries_.push_back(
-        Entry{skb.ts, at, skb.high_priority(), skb.segments});
+    push(Entry{skb.ts, at, skb.high_priority(), skb.segments});
   }
 
-  const std::vector<Entry>& entries() const noexcept { return entries_; }
-  void clear() noexcept { entries_.clear(); }
+  std::size_t size() const noexcept { return ring_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Entries overwritten because the ring was full.
+  std::uint64_t dropped_records() const noexcept { return dropped_; }
+
+  /// Re-bounds the ring; clears retained entries.
+  void set_capacity(std::size_t capacity);
+
+  /// i-th retained entry, oldest first.
+  const Entry& entry(std::size_t i) const {
+    return ring_[(head_ + i) % ring_.size()];
+  }
+
+  /// Materializes the retained entries, oldest first.
+  std::vector<Entry> entries() const;
+
+  void clear() noexcept {
+    ring_.clear();
+    head_ = 0;
+    dropped_ = 0;
+  }
 
   /// Mean time spent between two pipeline points across all entries that
   /// traversed both (e.g. nic_rx -> stage1_done). Returns 0 when none.
@@ -41,7 +68,20 @@ class PacketTrace {
   std::string render_breakdown() const;
 
  private:
-  std::vector<Entry> entries_;
+  void push(const Entry& e) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back(e);
+      return;
+    }
+    ring_[head_] = e;
+    head_ = (head_ + 1) % ring_.size();
+    ++dropped_;
+  }
+
+  std::size_t capacity_;
+  std::vector<Entry> ring_;
+  std::size_t head_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace prism::trace

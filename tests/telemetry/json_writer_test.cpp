@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "json_check.h"
+#include "telemetry/json_writer.h"
+
+namespace prism::telemetry {
+namespace {
+
+TEST(JsonWriterTest, EmptyContainers) {
+  EXPECT_EQ(JsonWriter().begin_object().end_object().take(), "{}");
+  EXPECT_EQ(JsonWriter().begin_array().end_array().take(), "[]");
+}
+
+TEST(JsonWriterTest, CommasBetweenMembersOnly) {
+  JsonWriter w;
+  w.begin_object()
+      .member("a", 1)
+      .member("b", 2)
+      .key("c")
+      .begin_array()
+      .value(3)
+      .value(4)
+      .end_array()
+      .end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":2,"c":[3,4]})");
+  EXPECT_TRUE(::prism::testing::is_valid_json(w.str()));
+}
+
+TEST(JsonWriterTest, NestedObjectsResumeCommaState) {
+  JsonWriter w;
+  w.begin_object()
+      .key("outer")
+      .begin_object()
+      .member("x", 1)
+      .end_object()
+      .member("after", 2)  // needs a comma after the nested object
+      .end_object();
+  EXPECT_EQ(w.str(), R"({"outer":{"x":1},"after":2})");
+}
+
+TEST(JsonWriterTest, ScalarTypes) {
+  JsonWriter w;
+  w.begin_array()
+      .value(true)
+      .value(false)
+      .value(std::uint64_t{18446744073709551615ull})
+      .value(std::int64_t{-42})
+      .value(1.5)
+      .value("text")
+      .end_array();
+  EXPECT_EQ(w.str(), R"([true,false,18446744073709551615,-42,1.5,"text"])");
+  EXPECT_TRUE(::prism::testing::is_valid_json(w.str()));
+}
+
+TEST(JsonWriterTest, EscapesStrings) {
+  JsonWriter w;
+  w.begin_object().member("k\"ey", "a\\b\n\t\x01").end_object();
+  EXPECT_EQ(w.str(), "{\"k\\\"ey\":\"a\\\\b\\n\\t\\u0001\"}");
+  EXPECT_TRUE(::prism::testing::is_valid_json(w.str()));
+}
+
+TEST(JsonWriterTest, RawEmbedsPrerenderedValues) {
+  JsonWriter inner;
+  inner.begin_object().member("counters", 3).end_object();
+
+  JsonWriter w;
+  w.begin_object()
+      .member("before", 1)
+      .key("telemetry")
+      .raw(inner.str())
+      .member("after", 2)
+      .end_object();
+  EXPECT_EQ(w.str(), R"({"before":1,"telemetry":{"counters":3},"after":2})");
+  EXPECT_TRUE(::prism::testing::is_valid_json(w.str()));
+}
+
+TEST(JsonWriterTest, RawAsArrayElement) {
+  JsonWriter w;
+  w.begin_array().value(1).raw("{\"x\":2}").value(3).end_array();
+  EXPECT_EQ(w.str(), R"([1,{"x":2},3])");
+}
+
+TEST(JsonCheckerSelfTest, RejectsMalformedInput) {
+  using ::prism::testing::is_valid_json;
+  EXPECT_TRUE(is_valid_json(R"({"a": [1, 2.5e3, "s"], "b": null})"));
+  EXPECT_FALSE(is_valid_json(""));
+  EXPECT_FALSE(is_valid_json("{"));
+  EXPECT_FALSE(is_valid_json(R"({"a":1,})"));
+  EXPECT_FALSE(is_valid_json(R"(["unterminated)"));
+  EXPECT_FALSE(is_valid_json("{\"a\":1} trailing"));
+  EXPECT_FALSE(is_valid_json("01a"));
+}
+
+}  // namespace
+}  // namespace prism::telemetry

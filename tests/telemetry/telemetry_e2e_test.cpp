@@ -1,0 +1,191 @@
+// End-to-end reconciliation: after a two-flow run (high-priority probe
+// flow + low-priority bulk flow), the telemetry registry, the
+// softnet_stat rows, and the /proc files must agree with the components'
+// own ground-truth accessors. This is the guard that the mirrored
+// counters never drift from the counters they mirror.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "apps/sockperf.h"
+#include "harness/testbed.h"
+#include "json_check.h"
+#include "telemetry/snapshot.h"
+
+namespace prism {
+namespace {
+
+class TelemetryE2eTest : public ::testing::Test {
+ protected:
+  void run(kernel::NapiMode mode) {
+    harness::TestbedConfig tc;
+    tc.mode = mode;
+    tb_ = std::make_unique<harness::Testbed>(tc);
+    auto& cli = tb_->add_client_container("cli");
+    auto& srv_hi = tb_->add_server_container("srv-hi");
+    auto& srv_bg = tb_->add_server_container("srv-bg");
+    tb_->server().priority_db().add(srv_hi.ip(), 11111);
+
+    hi_server_ = std::make_unique<apps::SockperfServer>(
+        tb_->sim(),
+        apps::SockperfServer::Config{&tb_->server(), &srv_hi,
+                                     &tb_->server().cpu(1), 11111});
+    bg_server_ = std::make_unique<apps::SockperfServer>(
+        tb_->sim(),
+        apps::SockperfServer::Config{&tb_->server(), &srv_bg,
+                                     &tb_->server().cpu(2), 22222});
+
+    apps::SockperfClient::Config hi;
+    hi.host = &tb_->client();
+    hi.ns = &cli;
+    hi.cpus = {&tb_->client().cpu(1)};
+    hi.dst_ip = srv_hi.ip();
+    hi.dst_port = 11111;
+    hi.rate_pps = 50'000;
+    hi.reply_every = 4;
+    hi.stop_at = sim::milliseconds(4);
+    hi_client_ = std::make_unique<apps::SockperfClient>(tb_->sim(), hi);
+
+    apps::SockperfClient::Config bg;
+    bg.host = &tb_->client();
+    bg.ns = &cli;
+    bg.cpus = {&tb_->client().cpu(2), &tb_->client().cpu(3)};
+    bg.base_src_port = 30000;
+    bg.dst_ip = srv_bg.ip();
+    bg.dst_port = 22222;
+    bg.rate_pps = 300'000;
+    bg.burst = 64;
+    bg.stop_at = sim::milliseconds(4);
+    bg_client_ = std::make_unique<apps::SockperfClient>(tb_->sim(), bg);
+
+    hi_client_->start();
+    bg_client_->start();
+    // Run well past the send window so sockets drain and every scheduled
+    // enqueue lands.
+    tb_->sim().run_until(sim::milliseconds(8));
+  }
+
+  std::unique_ptr<harness::Testbed> tb_;
+  std::unique_ptr<apps::SockperfServer> hi_server_;
+  std::unique_ptr<apps::SockperfServer> bg_server_;
+  std::unique_ptr<apps::SockperfClient> hi_client_;
+  std::unique_ptr<apps::SockperfClient> bg_client_;
+};
+
+TEST_F(TelemetryE2eTest, RegistryMatchesComponentGroundTruth) {
+#if !PRISM_TELEMETRY_ENABLED
+  GTEST_SKIP() << "telemetry compiled out: counters read 0";
+#endif
+  run(kernel::NapiMode::kVanilla);
+  auto& server = tb_->server();
+  auto& m = server.metrics();
+
+  // Both flows actually ran.
+  EXPECT_GT(hi_server_->received(), 0u);
+  EXPECT_GT(bg_server_->received(), 0u);
+
+  // Socket layer: the registry mirrors the deliverer exactly.
+  EXPECT_EQ(m.counter_value("sockets.delivered"),
+            server.deliverer().delivered());
+  EXPECT_EQ(m.counter_value("sockets.no_socket_drops"),
+            server.deliverer().no_socket_drops());
+
+  // NIC: every arriving frame is either ring-buffered or ring-dropped.
+  // The paper's server has a single RSS queue (q0).
+  const std::uint64_t queued = m.counter_value("nic.q0.frames") +
+                               m.counter_value("nic.q0.ring_drops");
+  EXPECT_EQ(m.counter_value("nic.rx_frames"), queued);
+  EXPECT_EQ(m.counter_value("nic.rx_frames"), server.nic().rx_frames());
+  EXPECT_EQ(m.counter_value("nic.tx_frames"), server.nic().tx_frames());
+  EXPECT_GT(m.counter_value("nic.rx_frames"), 0u);
+
+  // Softirq engines: per-CPU counters mirror the engines.
+  for (int i = 0; i < server.num_cpus(); ++i) {
+    const std::string p = "cpu" + std::to_string(i) + ".";
+    EXPECT_EQ(m.counter_value(p + "packets"),
+              server.engine(i).packets_processed());
+    EXPECT_EQ(m.counter_value(p + "polls"), server.engine(i).polls());
+    EXPECT_EQ(m.counter_value(p + "softirqs"),
+              server.engine(i).softirq_invocations());
+    EXPECT_EQ(m.counter_value(p + "time_squeeze"),
+              server.engine(i).time_squeezes());
+    EXPECT_EQ(m.counter_value(p + "requeues"),
+              server.engine(i).requeues());
+    EXPECT_EQ(m.counter_value(p + "prism_head_inserts"),
+              server.engine(i).head_inserts());
+  }
+}
+
+TEST_F(TelemetryE2eTest, DeliveredPlusDroppedReconciles) {
+#if !PRISM_TELEMETRY_ENABLED
+  GTEST_SKIP() << "telemetry compiled out: counters read 0";
+#endif
+  run(kernel::NapiMode::kPrismBatch);
+  auto& server = tb_->server();
+  auto& m = server.metrics();
+
+  // Every datagram the deliverer handed to a socket either entered a
+  // receive buffer or was dropped at one.
+  const std::uint64_t delivered = m.counter_value("sockets.delivered");
+  const std::uint64_t enqueued = m.counter_value("sockets.rcvbuf_enqueued");
+  const std::uint64_t rcvbuf_drops =
+      m.counter_value("sockets.rcvbuf_drops");
+  EXPECT_GT(delivered, 0u);
+  EXPECT_EQ(delivered, enqueued + rcvbuf_drops);
+
+  // Application ground truth: everything enqueued was read by one of the
+  // two servers or is still sitting in a receive buffer.
+  EXPECT_EQ(enqueued, hi_server_->received() + bg_server_->received() +
+                          hi_server_->socket().queue_depth() +
+                          bg_server_->socket().queue_depth());
+
+  // softnet_stat rows reconcile with the engines and with delivery: each
+  // delivered packet was processed by net_rx_action at least once (the
+  // overlay path processes it once per pipeline stage).
+  auto rows = server.softnet_rows();
+  ASSERT_EQ(rows.size(), static_cast<std::size_t>(server.num_cpus()));
+  std::uint64_t processed = 0;
+  std::uint64_t squeezes = 0;
+  for (const auto& r : rows) {
+    EXPECT_EQ(r.processed,
+              server.engine(static_cast<int>(r.cpu)).packets_processed());
+    EXPECT_EQ(r.time_squeeze,
+              server.engine(static_cast<int>(r.cpu)).time_squeezes());
+    processed += r.processed;
+    squeezes += r.time_squeeze;
+  }
+  EXPECT_GE(processed, delivered);
+  (void)squeezes;
+}
+
+TEST_F(TelemetryE2eTest, ProcFilesExposeTelemetry) {
+  run(kernel::NapiMode::kPrismSync);
+  auto& server = tb_->server();
+
+  const std::string softnet = server.proc().read("net/softnet_stat");
+  EXPECT_EQ(softnet, server.softnet_stat());
+  EXPECT_FALSE(softnet.empty());
+  // One 13-hex-column row per CPU.
+  EXPECT_EQ(std::count(softnet.begin(), softnet.end(), '\n'),
+            server.num_cpus());
+
+  const std::string dev = server.proc().read("net/dev");
+  EXPECT_NE(dev.find("eth0:"), std::string::npos);
+  EXPECT_NE(dev.find("br42:"), std::string::npos);
+  EXPECT_NE(dev.find("veth:"), std::string::npos);
+
+  const std::string json = server.proc().read("prism/telemetry");
+  EXPECT_TRUE(::prism::testing::is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"sockets.delivered\""), std::string::npos);
+
+  // Registered files are read-only, like real procfs stat files.
+  EXPECT_FALSE(server.proc().write("net/softnet_stat", "0"));
+  // Unknown paths still read as empty.
+  EXPECT_TRUE(server.proc().read("net/nope").empty());
+}
+
+}  // namespace
+}  // namespace prism

@@ -29,6 +29,96 @@ TEST(PollTraceTest, RenderRespectsRowLimit) {
   EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);  // header + 3
 }
 
+TEST(PollTraceTest, RingOverwritesOldestWhenFull) {
+  PollTrace trace(3);
+  for (int i = 0; i < 10; ++i) {
+    trace.on_poll(i * 100, "eth", {"br"}, i);
+  }
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.capacity(), 3u);
+  EXPECT_EQ(trace.dropped_records(), 7u);
+  const auto records = trace.records();
+  ASSERT_EQ(records.size(), 3u);
+  // Newest three survive, oldest first; the global iteration counter
+  // keeps numbering across overwrites.
+  EXPECT_EQ(records[0].iteration, 8u);
+  EXPECT_EQ(records[0].packets, 7);
+  EXPECT_EQ(records[2].iteration, 10u);
+  EXPECT_EQ(records[2].at, 900);
+  EXPECT_EQ(records[2].poll_list, (std::vector<std::string>{"br"}));
+}
+
+TEST(PollTraceTest, LongPollListsAreTruncated) {
+  PollTrace trace;
+  std::vector<std::string> list;
+  for (std::size_t i = 0; i < PollTrace::kMaxPollList + 4; ++i) {
+    list.push_back("dev" + std::to_string(i));
+  }
+  trace.on_poll(0, "eth", list, 1);
+  EXPECT_EQ(trace.truncated_lists(), 1u);
+  const auto records = trace.records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].poll_list.size(), PollTrace::kMaxPollList);
+  EXPECT_EQ(records[0].poll_list.front(), "dev0");
+}
+
+TEST(PollTraceTest, SetCapacityRebounds) {
+  PollTrace trace(8);
+  for (int i = 0; i < 8; ++i) trace.on_poll(i, "eth", {}, 1);
+  trace.set_capacity(2);
+  EXPECT_EQ(trace.size(), 0u);  // retained records cleared
+  for (int i = 0; i < 5; ++i) trace.on_poll(i, "br", {}, 1);
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.dropped_records(), 3u);
+  EXPECT_EQ(trace.device_order(),
+            (std::vector<std::string>{"br", "br"}));
+}
+
+TEST(PollTraceTest, InternedIdsAreStable) {
+  PollTrace trace;
+  const auto eth = trace.intern("eth");
+  const auto br = trace.intern("br");
+  EXPECT_NE(eth, br);
+  EXPECT_EQ(trace.intern("eth"), eth);
+  const PollTrace::NameId list[] = {br, eth};
+  trace.on_poll_ids(50, eth, list, 2, 16);
+  const auto records = trace.records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].device, "eth");
+  EXPECT_EQ(records[0].poll_list,
+            (std::vector<std::string>{"br", "eth"}));
+}
+
+TEST(PacketTraceTest, RingOverwritesOldestWhenFull) {
+  PacketTrace trace(2);
+  kernel::Skb skb;
+  for (int i = 0; i < 5; ++i) {
+    skb.ts.nic_rx = i;
+    trace.on_delivered(skb, i * 10);
+  }
+  EXPECT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.dropped_records(), 3u);
+  const auto entries = trace.entries();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].ts.nic_rx, 3);
+  EXPECT_EQ(entries[1].ts.nic_rx, 4);
+  EXPECT_EQ(entries[1].delivered, 40);
+  EXPECT_EQ(trace.entry(0).ts.nic_rx, 3);
+}
+
+TEST(PacketTraceTest, SetCapacityClearsRetainedEntries) {
+  PacketTrace trace(4);
+  kernel::Skb skb;
+  trace.on_delivered(skb, 1);
+  trace.set_capacity(1);
+  EXPECT_EQ(trace.size(), 0u);
+  trace.on_delivered(skb, 2);
+  trace.on_delivered(skb, 3);
+  EXPECT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace.dropped_records(), 1u);
+  EXPECT_EQ(trace.entries()[0].delivered, 3);
+}
+
 TEST(PacketTraceTest, BreakdownComputesMeans) {
   PacketTrace trace;
   kernel::Skb skb;
