@@ -7,6 +7,7 @@
 #include "stats/histogram.h"
 #include "stats/summary.h"
 #include "stats/table.h"
+#include "telemetry/latency.h"
 
 namespace prism::bench {
 
@@ -38,6 +39,27 @@ inline void print_header(const char* figure, const char* description) {
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", figure, description);
   std::printf("==============================================================\n");
+}
+
+/// Server-side per-stage latency attribution for one scenario run —
+/// the measured answer to "where does the time go" that the figure
+/// discussions previously inferred from end-to-end numbers alone.
+inline void print_latency_breakdown(
+    const char* label, const telemetry::LatencyBreakdown& b) {
+  if (!b.enabled) {
+    std::printf("latency_breakdown [%s]: telemetry compiled out\n\n", label);
+    return;
+  }
+  std::printf("latency_breakdown [%s]:\n%s\n", label,
+              telemetry::render_latency_breakdown(b).c_str());
+}
+
+/// The windowed p50/p99-vs-time series from the same snapshot.
+inline void print_latency_windows(const char* label,
+                                  const telemetry::LatencyBreakdown& b) {
+  if (!b.enabled) return;
+  std::printf("latency_windows [%s]:\n%s\n", label,
+              telemetry::render_latency_windows(b).c_str());
 }
 
 }  // namespace prism::bench

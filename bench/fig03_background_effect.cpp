@@ -44,5 +44,9 @@ int main() {
           static_cast<double>(is.p50_ns),
       100.0 * static_cast<double>(bs.p99_ns - is.p99_ns) /
           static_cast<double>(is.p99_ns));
+
+  std::printf("\n");
+  bench::print_latency_breakdown("idle", idle.server_latency);
+  bench::print_latency_breakdown("busy", busy.server_latency);
   return 0;
 }

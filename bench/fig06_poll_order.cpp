@@ -21,10 +21,10 @@
 
 namespace {
 
-prism::trace::PollTrace trace_mode(prism::kernel::NapiMode mode,
-                                   prism::telemetry::SpanTracer* tracer =
-                                       nullptr,
-                                   int track_base = 0) {
+prism::trace::PollTrace trace_mode(
+    prism::kernel::NapiMode mode,
+    prism::telemetry::SpanTracer* tracer = nullptr, int track_base = 0,
+    prism::telemetry::LatencyBreakdown* breakdown = nullptr) {
   using namespace prism;
   harness::TestbedConfig tc;
   tc.mode = mode;
@@ -56,6 +56,9 @@ prism::trace::PollTrace trace_mode(prism::kernel::NapiMode mode,
   });
   tb.sim().run_until(sim::milliseconds(3));
   tb.server().set_poll_trace(tb.server().default_rx_cpu(), nullptr);
+  if (breakdown != nullptr) {
+    *breakdown = tb.server().latency_ledger().snapshot();
+  }
   return trace;
 }
 
@@ -78,15 +81,29 @@ int main(int argc, char** argv) {
 
   // Vanilla on tracks [0, 4), PRISM on tracks [4, 8): both orders appear
   // in one exported timeline, one row per (mode, CPU).
-  const auto vanilla = trace_mode(kernel::NapiMode::kVanilla, tp, 0);
+  telemetry::LatencyBreakdown vanilla_lat;
+  telemetry::LatencyBreakdown prism_lat;
+  const auto vanilla =
+      trace_mode(kernel::NapiMode::kVanilla, tp, 0, &vanilla_lat);
   std::printf("(a) Vanilla\n%s\n", vanilla.render(12).c_str());
 
-  const auto prism_trace = trace_mode(kernel::NapiMode::kPrismBatch, tp, 4);
+  const auto prism_trace =
+      trace_mode(kernel::NapiMode::kPrismBatch, tp, 4, &prism_lat);
   std::printf("(b) PRISM\n%s\n", prism_trace.render(12).c_str());
 
   std::printf(
       "Note how in (a) veth (stage 3 of batch N) is polled only after eth\n"
-      "(stage 1 of batch N+1), while (b) follows eth -> br -> veth.\n");
+      "(stage 1 of batch N+1), while (b) follows eth -> br -> veth.\n\n");
+
+  bench::print_latency_breakdown("vanilla", vanilla_lat);
+  bench::print_latency_breakdown("prism-batch", prism_lat);
+
+  if (vanilla.dropped_records() + prism_trace.dropped_records() > 0) {
+    std::printf("poll-trace records dropped: vanilla %llu, prism %llu\n",
+                static_cast<unsigned long long>(vanilla.dropped_records()),
+                static_cast<unsigned long long>(
+                    prism_trace.dropped_records()));
+  }
 
   if (trace_out != nullptr) {
     if (tracer.export_chrome_trace_file(trace_out, "fig06")) {

@@ -9,6 +9,9 @@
 // with PRISM-batch in between; max throughput is ~400 Kpps for Vanilla
 // and PRISM-batch but only ~300 Kpps for PRISM-sync (no batching).
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "bench_util.h"
 #include "harness/experiment.h"
@@ -21,6 +24,8 @@ int main() {
   // --- latency at a constant 300 Kpps ---------------------------------
   stats::Table lat({"mode", "min(us)", "mean(us)", "p50(us)", "p90(us)",
                     "p99(us)", "rx-cpu"});
+  std::vector<std::pair<std::string, telemetry::LatencyBreakdown>>
+      breakdowns;
   for (const auto mode :
        {kernel::NapiMode::kVanilla, kernel::NapiMode::kPrismBatch,
         kernel::NapiMode::kPrismSync}) {
@@ -30,8 +35,12 @@ int main() {
     const auto r = harness::run_streamlined_scenario(cfg);
     bench::add_latency_row(lat, kernel::to_string(mode), r.latency,
                            bench::pct(r.rx_cpu_utilization));
+    breakdowns.emplace_back(kernel::to_string(mode), r.server_latency);
   }
   std::printf("latency of the 300 Kpps flow:\n%s\n", lat.render().c_str());
+  for (const auto& [label, b] : breakdowns) {
+    bench::print_latency_breakdown(label.c_str(), b);
+  }
 
   // --- max per-core throughput -----------------------------------------
   std::printf("per-core throughput (delivered Kpps vs offered Kpps):\n");

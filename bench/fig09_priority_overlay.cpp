@@ -64,5 +64,12 @@ int main() {
       100.0 * (bs.mean_ns - vs.mean_ns) / vs.mean_ns,
       100.0 * static_cast<double>(bs.p99_ns - vs.p99_ns) /
           static_cast<double>(vs.p99_ns));
+
+  // Where the time goes: the measured per-stage attribution behind the
+  // CDFs above (class 3 = the high-priority probe flow).
+  std::printf("\n");
+  bench::print_latency_breakdown("busy vanilla", vanilla.server_latency);
+  bench::print_latency_breakdown("busy prism-batch", batch.server_latency);
+  bench::print_latency_breakdown("busy prism-sync", sync.server_latency);
   return 0;
 }

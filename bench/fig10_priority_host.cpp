@@ -50,5 +50,11 @@ int main() {
       "(paper: no improvement — the single-stage host pipeline gives PRISM "
       "nothing to preempt)\n",
       mean_delta);
+
+  // Attribution on the host path: ring_wait + stage1_service only — the
+  // measured form of the single-stage argument above.
+  std::printf("\n");
+  bench::print_latency_breakdown("busy vanilla", vanilla.server_latency);
+  bench::print_latency_breakdown("busy prism-sync", sync.server_latency);
   return 0;
 }

@@ -70,5 +70,9 @@ int main() {
       100.0 * (busy_p.mean_ns - busy_v.mean_ns) / busy_v.mean_ns,
       100.0 * static_cast<double>(busy_p.p99_ns - busy_v.p99_ns) /
           static_cast<double>(busy_v.p99_ns));
+
+  std::printf("\n");
+  bench::print_latency_breakdown("busy vanilla", res[2].server_latency);
+  bench::print_latency_breakdown("busy prism-sync", res[3].server_latency);
   return 0;
 }

@@ -73,5 +73,9 @@ int main() {
           static_cast<double>(busy_v.p99_ns),
       100.0 * (res[3].requests_per_second - res[1].requests_per_second) /
           res[1].requests_per_second);
+
+  std::printf("\n");
+  bench::print_latency_breakdown("busy vanilla", res[1].server_latency);
+  bench::print_latency_breakdown("busy prism-sync", res[3].server_latency);
   return 0;
 }

@@ -47,8 +47,9 @@ constexpr std::uint16_t kBgSrcBase = 21000;
 constexpr double kSeedEventsPerSec = 3606833.0;
 
 /// Target ceiling for the telemetry layer's hot-path cost at 450 kpps:
-/// full tracing (span tracer attached on every CPU) must stay within 3%
-/// of the counters-only baseline events/sec.
+/// full tracing (span tracer on every CPU, latency ledger + flow table
+/// recording every delivery) must stay within 3% of the counters-only
+/// baseline events/sec.
 constexpr double kTelemetryOverheadTarget = 0.03;
 
 constexpr double kSweepKpps[] = {0, 100, 250, 450};
@@ -70,10 +71,13 @@ struct PointResult {
 /// One fig11-style run: a latency probe flow plus a background flood at
 /// `bg_rate_pps`, both container-to-container over the VXLAN overlay,
 /// under the PRISM-sync pipeline. With `full_telemetry` a span tracer is
-/// attached to every CPU of both hosts (the counters are always bound by
-/// Host); `telemetry_block`, if non-null, receives the run's telemetry as
-/// a JSON value (registry dump + proc-style snapshots + tracer stats),
-/// rendered outside the timed section.
+/// attached to every CPU of both hosts and the latency ledger + flow
+/// table record on every delivery; without it the ledger and flow table
+/// are runtime-disabled so the A/B isolates the whole recording layer
+/// (the counters are always bound by Host). `telemetry_block`, if
+/// non-null, receives the run's telemetry as a JSON value (registry dump
+/// + rings + latency + flows + proc-style snapshots), rendered outside
+/// the timed section.
 PointResult run_point(double bg_rate_pps, sim::Duration duration,
                       bool full_telemetry = false,
                       std::string* telemetry_block = nullptr) {
@@ -81,7 +85,14 @@ PointResult run_point(double bg_rate_pps, sim::Duration duration,
   tc.mode = kernel::NapiMode::kPrismSync;
   harness::Testbed tb(tc);
   telemetry::SpanTracer tracer;
-  if (full_telemetry) tb.attach_span_tracer(tracer);
+  if (full_telemetry) {
+    tb.attach_span_tracer(tracer);
+  } else {
+    tb.server().latency_ledger().set_enabled(false);
+    tb.server().flow_table().set_enabled(false);
+    tb.client().latency_ledger().set_enabled(false);
+    tb.client().flow_table().set_enabled(false);
+  }
   const sim::Duration warmup = sim::milliseconds(50);
   const sim::Time t_end = warmup + duration;
 
@@ -139,8 +150,8 @@ PointResult run_point(double bg_rate_pps, sim::Duration duration,
     telemetry::JsonWriter w;
     w.begin_object();
     w.member("compiled_in", static_cast<bool>(PRISM_TELEMETRY_ENABLED));
-    w.key("server_registry");
-    w.raw(telemetry::registry_json(tb.server().metrics()));
+    w.key("server_telemetry");
+    w.raw(telemetry::telemetry_json(tb.server().telemetry()));
     w.member("softnet_stat", tb.server().softnet_stat());
     w.member("net_dev", tb.server().net_dev());
     w.key("trace");
@@ -231,9 +242,11 @@ int main(int argc, char** argv) {
   kernel::SkbPool::instance().set_enabled(true);
   sim::BufferPool::instance().set_enabled(true);
 
-  // A/B: full telemetry (span tracer on every CPU of both hosts) vs the
-  // counters-only baseline above. When PRISM_TELEMETRY=OFF the recording
-  // calls compile out and the overhead should read ~0.
+  // A/B: full telemetry (span tracer on every CPU of both hosts, latency
+  // ledger + flow table recording every delivery) vs the counters-only
+  // baseline above (ledger + flow table runtime-disabled). When
+  // PRISM_TELEMETRY=OFF the recording calls compile out and the overhead
+  // should read ~0.
   std::string telemetry_block;
   const PointResult telem_on =
       best_of(kHighLoadKpps * 1e3, sim::milliseconds(200), kRepsPerPoint,

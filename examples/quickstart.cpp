@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
                       "rx-cpu util"});
 
   std::string softnet_stat;
+  telemetry::LatencyBreakdown breakdown;
   auto row = [&](const char* label, kernel::NapiMode mode, bool busy,
                  bool instrument = false) {
     harness::PriorityScenarioConfig cfg;
@@ -51,6 +52,7 @@ int main(int argc, char** argv) {
     }
     const auto r = harness::run_priority_scenario(cfg);
     if (instrument && telemetry) softnet_stat = r.server_softnet_stat;
+    if (instrument) breakdown = r.server_latency;
     const auto s = stats::summarize(r.latency);
     table.add_row({label,
                    stats::Table::cell(static_cast<double>(s.p50_ns) / 1e3),
@@ -66,6 +68,10 @@ int main(int argc, char** argv) {
       /*instrument=*/true);
 
   std::printf("%s\n", table.render().c_str());
+  if (breakdown.enabled) {
+    std::printf("where the time goes (busy / prism-sync, server side):\n%s\n",
+                telemetry::render_latency_breakdown(breakdown).c_str());
+  }
   if (telemetry) {
     std::printf("server softnet_stat (busy / prism-sync):\n%s\n",
                 softnet_stat.c_str());

@@ -31,6 +31,16 @@ TestbedConfig testbed_config(const kernel::CostModel& cost,
   return tc;
 }
 
+/// Clears the server's latency ledger and flow table at the warmup
+/// boundary so the reported attribution covers only the measurement
+/// window.
+void reset_latency_at_warmup(Testbed& tb, sim::Time warmup) {
+  tb.sim().schedule_at(warmup, [&tb] {
+    tb.server().latency_ledger().reset();
+    tb.server().flow_table().reset();
+  });
+}
+
 }  // namespace
 
 PriorityScenarioResult run_priority_scenario(
@@ -38,6 +48,10 @@ PriorityScenarioResult run_priority_scenario(
   Testbed tb(testbed_config(cfg.cost, cfg.mode));
   telemetry::SpanTracer tracer;
   if (!cfg.trace_out.empty()) tb.attach_span_tracer(tracer);
+  if (cfg.latency_window > 0) {
+    tb.server().latency_ledger().set_window_interval(cfg.latency_window);
+  }
+  reset_latency_at_warmup(tb, cfg.warmup);
   const sim::Time t_end = cfg.warmup + cfg.duration;
 
   // Endpoints: containers on the overlay path, root namespaces on the
@@ -119,9 +133,10 @@ PriorityScenarioResult run_priority_scenario(
   result.bg_sent = bg_client.sent();
   result.bg_received = bg_server.received();
   result.server_ring_drops = tb.server().nic().rx_dropped();
+  result.server_latency = tb.server().latency_ledger().snapshot();
   if (cfg.collect_telemetry) {
     result.server_telemetry_json =
-        telemetry::registry_json(tb.server().metrics());
+        telemetry::telemetry_json(tb.server().telemetry());
     result.server_softnet_stat = tb.server().softnet_stat();
   }
   if (!cfg.trace_out.empty() &&
@@ -135,6 +150,7 @@ PriorityScenarioResult run_priority_scenario(
 StreamlinedScenarioResult run_streamlined_scenario(
     const StreamlinedScenarioConfig& cfg) {
   Testbed tb(testbed_config(cfg.cost, cfg.mode));
+  reset_latency_at_warmup(tb, cfg.warmup);
   const sim::Time t_end = cfg.warmup + cfg.duration;
 
   auto& cli_ns = tb.add_client_container("flow-cli");
@@ -197,12 +213,14 @@ StreamlinedScenarioResult run_streamlined_scenario(
       static_cast<double>(sent_at_end - sent_at_warmup) / span;
   result.rx_cpu_utilization = utilization;
   result.server_ring_drops = tb.server().nic().rx_dropped();
+  result.server_latency = tb.server().latency_ledger().snapshot();
   return result;
 }
 
 MemcachedScenarioResult run_memcached_scenario(
     const MemcachedScenarioConfig& cfg) {
   Testbed tb(testbed_config(cfg.cost, cfg.mode));
+  reset_latency_at_warmup(tb, cfg.warmup);
   const sim::Time t_end = cfg.warmup + cfg.duration;
 
   auto& cli_mc_ns = tb.add_client_container("memaslap");
@@ -270,11 +288,13 @@ MemcachedScenarioResult run_memcached_scenario(
   result.completed = memaslap.completed();
   result.timeouts = memaslap.timeouts();
   result.rx_cpu_utilization = utilization;
+  result.server_latency = tb.server().latency_ledger().snapshot();
   return result;
 }
 
 WebScenarioResult run_web_scenario(const WebScenarioConfig& cfg) {
   Testbed tb(testbed_config(cfg.cost, cfg.mode));
+  reset_latency_at_warmup(tb, cfg.warmup);
   const sim::Time t_end = cfg.warmup + cfg.duration;
 
   auto& cli_web_ns = tb.add_client_container("wrk");
@@ -345,6 +365,7 @@ WebScenarioResult run_web_scenario(const WebScenarioConfig& cfg) {
   result.completed = wrk.completed();
   result.rx_cpu_utilization = utilization;
   result.bg_bytes_received = bg_sink.bytes_received();
+  result.server_latency = tb.server().latency_ledger().snapshot();
   return result;
 }
 

@@ -14,6 +14,7 @@
 #include "sim/time.h"
 #include "stats/histogram.h"
 #include "stats/summary.h"
+#include "telemetry/latency.h"
 
 namespace prism::harness {
 
@@ -39,6 +40,9 @@ struct PriorityScenarioConfig {
   /// Collect the server's telemetry (registry JSON + softnet_stat) into
   /// the result. Counters are always live; this only snapshots them.
   bool collect_telemetry = false;
+  /// > 0: override the server latency ledger's window interval, for
+  /// finer/coarser p50/p99-vs-time series (default 10 ms).
+  sim::Duration latency_window = 0;
   /// Non-empty: attach a span tracer to both hosts and export the
   /// timeline as Chrome trace_event JSON to this path (Perfetto-loadable).
   std::string trace_out;
@@ -52,10 +56,14 @@ struct PriorityScenarioResult {
   std::uint64_t bg_sent = 0;
   std::uint64_t bg_received = 0;
   std::uint64_t server_ring_drops = 0;
-  /// Filled when collect_telemetry: the server registry as JSON
-  /// ({"counters": ..., "gauges": ...}) and its softnet_stat rendering.
+  /// Filled when collect_telemetry: the server telemetry bundle as JSON
+  /// ({"counters", "gauges", "rings", "latency", "flows"}) and its
+  /// softnet_stat rendering.
   std::string server_telemetry_json;
   std::string server_softnet_stat;
+  /// Server-side per-stage latency attribution over the measurement
+  /// window (warmup excluded).
+  telemetry::LatencyBreakdown server_latency;
 };
 
 PriorityScenarioResult run_priority_scenario(
@@ -83,6 +91,8 @@ struct StreamlinedScenarioResult {
   double offered_pps = 0.0;        ///< achieved client send rate
   double rx_cpu_utilization = 0.0;
   std::uint64_t server_ring_drops = 0;
+  /// Server-side per-stage latency attribution (warmup excluded).
+  telemetry::LatencyBreakdown server_latency;
 };
 
 StreamlinedScenarioResult run_streamlined_scenario(
@@ -113,6 +123,8 @@ struct MemcachedScenarioResult {
   std::uint64_t completed = 0;
   std::uint64_t timeouts = 0;
   double rx_cpu_utilization = 0.0;
+  /// Server-side per-stage latency attribution (warmup excluded).
+  telemetry::LatencyBreakdown server_latency;
 };
 
 MemcachedScenarioResult run_memcached_scenario(
@@ -143,6 +155,8 @@ struct WebScenarioResult {
   std::uint64_t completed = 0;
   double rx_cpu_utilization = 0.0;
   std::uint64_t bg_bytes_received = 0;
+  /// Server-side per-stage latency attribution (warmup excluded).
+  telemetry::LatencyBreakdown server_latency;
 };
 
 WebScenarioResult run_web_scenario(const WebScenarioConfig& cfg);

@@ -15,6 +15,11 @@ namespace {
 /// overhead.
 constexpr std::size_t kOverlayMtu = net::kMtu - net::kEncapHeadroom;
 
+// The ledger's class axis mirrors the PRISM priority levels; a level
+// added to one must be added to the other.
+static_assert(telemetry::kNumLatencyClasses == kNumPriorityLevels,
+              "latency ledger classes must mirror PRISM priority levels");
+
 }  // namespace
 
 Host::Host(sim::Simulator& sim, HostConfig config)
@@ -50,6 +55,7 @@ Host::Host(sim::Simulator& sim, HostConfig config)
 
   nic_->bind_telemetry(telemetry_.registry, "nic.");
   deliverer_->bind_telemetry(telemetry_.registry, "sockets.");
+  deliverer_->set_latency(&telemetry_.latency, &telemetry_.flows);
 
   // Per-CPU softirq machinery.
   for (int i = 0; i < cfg_.num_cpus; ++i) {
@@ -83,6 +89,7 @@ Host::Host(sim::Simulator& sim, HostConfig config)
     ctx.priority_db = &priority_db_;
     ctx.deliverer = deliverer_.get();
     ctx.root_ns = root_ns_.get();
+    ctx.ledger = &telemetry_.latency;
     ctx.vxlan_lookup = [this, cpu_idx](std::uint32_t vni) -> QueueNapi* {
       const auto it = bridges_.find(vni);
       return it == bridges_.end() ? nullptr
@@ -94,6 +101,7 @@ Host::Host(sim::Simulator& sim, HostConfig config)
                          "nic.q" + std::to_string(q) + ".");
     NicNapi* napi_ptr = napi.get();
     nic_->queue(q).set_irq_handler([this, cpu_idx, napi_ptr] {
+      napi_ptr->note_irq(sim_.now());
       if (tracer_ != nullptr) {
         tracer_->instant(track_base_ + cpu_idx, irq_name_, sim_.now());
       }
@@ -120,7 +128,28 @@ Host::Host(sim::Simulator& sim, HostConfig config)
                        [this] { return softnet_stat(); });
   proc_->register_file("net/dev", [this] { return net_dev(); });
   proc_->register_file("prism/telemetry", [this] {
-    return telemetry::registry_json(telemetry_.registry);
+    // Any trace rings attached to this host report their retention next
+    // to the span tracer's, so truncation is never silent.
+    std::vector<telemetry::RingStat> rings;
+    for (int i = 0; i < num_cpus(); ++i) {
+      if (const auto* t = engine(i).poll_trace(); t != nullptr) {
+        rings.push_back({"cpu" + std::to_string(i) + ".poll_trace",
+                         static_cast<std::uint64_t>(t->size()),
+                         t->dropped_records()});
+      }
+    }
+    if (const auto* t = deliverer_->packet_trace(); t != nullptr) {
+      rings.push_back({"packet_trace",
+                       static_cast<std::uint64_t>(t->size()),
+                       t->dropped_records()});
+    }
+    return telemetry::telemetry_json(telemetry_, rings);
+  });
+  proc_->register_file("prism/latency", [this] {
+    return telemetry::latency_json(telemetry_.latency);
+  });
+  proc_->register_file("prism/flows", [this] {
+    return telemetry::flow_table_json(telemetry_.flows);
   });
 }
 
@@ -254,6 +283,7 @@ void Host::deliver_local(BridgeBundle& bundle, net::PacketBuf frame) {
                         : priority_db_.classify(*skb->parsed, nullptr);
   }
   skb->ts.nic_rx = sim_.now();
+  skb->ts.stage1_start = sim_.now();
   skb->ts.stage1_done = sim_.now();
   skb->buf = std::move(frame);
   skb->stage = 2;
@@ -269,6 +299,7 @@ UdpSocket& Host::udp_bind(overlay::Netns& ns, std::uint16_t port,
                           std::size_t capacity) {
   auto sock = std::make_unique<UdpSocket>(sim_, port, capacity);
   sock->bind_telemetry(telemetry_.registry, "sockets.");
+  sock->set_latency_ledger(&telemetry_.latency);
   ns.sockets().bind_udp(*sock);
   udp_sockets_.push_back(std::move(sock));
   return *udp_sockets_.back();

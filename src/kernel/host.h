@@ -157,6 +157,14 @@ class Host {
   telemetry::Telemetry& telemetry() noexcept { return telemetry_; }
   telemetry::Registry& metrics() noexcept { return telemetry_.registry; }
 
+  /// Per-stage latency attribution ledger (proc: "prism/latency"). Fed
+  /// by the socket deliverer on every completed journey.
+  telemetry::LatencyLedger& latency_ledger() noexcept {
+    return telemetry_.latency;
+  }
+  /// Bounded per-flow accounting table (proc: "prism/flows").
+  telemetry::FlowTable& flow_table() noexcept { return telemetry_.flows; }
+
   /// Attaches a span tracer to every CPU's engine and the NIC IRQ lines.
   /// CPU i records on track `track_base + i` (labelled "<host>.cpu<i>");
   /// pass distinct bases when two hosts share one tracer. nullptr

@@ -149,7 +149,8 @@ sim::Duration NetRxEngine::poll_chunk() {
   if (trace_ != nullptr) trace_poll(dev, out.processed);
   if (tracer_ != nullptr) {
     tracer_->span(track_, tracer_->intern(dev->name()), poll_start,
-                  out.cost, static_cast<std::uint32_t>(out.processed));
+                  out.cost, static_cast<std::uint32_t>(out.processed),
+                  static_cast<std::uint32_t>(out.cost));
   }
 
   auto& cur = mode_ == NapiMode::kVanilla ? local_list_ : global_list_;

@@ -68,6 +68,7 @@ class NetRxEngine {
 
   /// Attaches a poll-order trace collector (may be nullptr to detach).
   void set_poll_trace(trace::PollTrace* trace) noexcept { trace_ = trace; }
+  const trace::PollTrace* poll_trace() const noexcept { return trace_; }
 
   /// Attaches a timeline span tracer (nullptr detaches). Softirq entries
   /// and device polls are recorded as spans on `track` (one row per CPU

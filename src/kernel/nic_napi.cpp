@@ -6,6 +6,7 @@
 #include "kernel/net_rx_engine.h"
 #include "net/flow.h"
 #include "overlay/netns.h"
+#include "telemetry/latency.h"
 
 namespace prism::kernel {
 
@@ -39,6 +40,14 @@ sim::Duration NicNapi::flush(GroSlot& slot, sim::Time at, double mult) {
 PollOutcome NicNapi::poll(int batch, sim::Time start) {
   PollOutcome out;
   out.cost = ctx_.cost->napi_poll_overhead;
+  if (irq_at_ >= 0) {
+#if PRISM_TELEMETRY_ENABLED
+    if (ctx_.ledger != nullptr) {
+      ctx_.ledger->record_irq_to_poll(start - irq_at_);
+    }
+#endif
+    irq_at_ = -1;
+  }
   const bool prism_mode = ctx_.engine->mode() != NapiMode::kVanilla;
   const double mult = ctx_.cost->depth_multiplier(ring_.size());
   auto scaled = [mult](sim::Duration d) {
@@ -50,6 +59,10 @@ PollOutcome NicNapi::poll(int batch, sim::Time start) {
     auto entry = ring_.pop();
     if (!entry) break;
     ++out.processed;
+    // Driver service of this frame begins here; everything between the
+    // DMA stamp and this instant is ring wait (the paper's §IV-D
+    // irreducible segment).
+    const sim::Time dequeued = start + out.cost;
 
     net::ParsedFrame parsed;
     if (!net::parse_frame_into(entry->frame.bytes(), parsed)) {
@@ -90,6 +103,7 @@ PollOutcome NicNapi::poll(int batch, sim::Time start) {
     auto skb = alloc_skb();
     skb->priority = level;
     skb->ts.nic_rx = entry->arrived;
+    skb->ts.stage1_start = dequeued;
 
     Route route;
     net::FiveTuple gro_key;

@@ -37,6 +37,10 @@ namespace prism::overlay {
 class Netns;
 }
 
+namespace prism::telemetry {
+class LatencyLedger;
+}
+
 namespace prism::kernel {
 
 class NetRxEngine;
@@ -50,6 +54,8 @@ struct NicNapiContext {
   const prism::PriorityDb* priority_db = nullptr;
   SocketDeliverer* deliverer = nullptr;
   overlay::Netns* root_ns = nullptr;
+  /// Optional: receives IRQ->poll durations (telemetry/latency.h).
+  telemetry::LatencyLedger* ledger = nullptr;
   /// Resolves a VNI to this CPU's bridge gro_cell, nullptr if unknown.
   std::function<QueueNapi*(std::uint32_t vni)> vxlan_lookup;
 };
@@ -69,6 +75,14 @@ class NicNapi final : public NapiStruct {
 
   std::uint64_t dropped_unroutable() const noexcept { return dropped_; }
   std::uint64_t gro_merged() const noexcept { return gro_merged_; }
+
+  /// Called by the host's IRQ handler at the interrupt instant. The next
+  /// poll records start - irq_at as the IRQ->poll latency; subsequent
+  /// re-polls of the same schedule don't (the softirq is already
+  /// running).
+  void note_irq(sim::Time at) noexcept {
+    if (irq_at_ < 0) irq_at_ = at;
+  }
 
   /// Registers driver-poll counters under `prefix` (e.g. "nic.q0.").
   void bind_telemetry(telemetry::Registry& reg, const std::string& prefix) {
@@ -95,6 +109,7 @@ class NicNapi final : public NapiStruct {
 
   nic::RxQueue& ring_;
   NicNapiContext ctx_;
+  sim::Time irq_at_ = -1;  ///< pending IRQ instant, -1 = none
   std::uint64_t dropped_ = 0;
   std::uint64_t gro_merged_ = 0;
   telemetry::Counter* t_unroutable_ = &telemetry::Counter::sink();

@@ -7,12 +7,19 @@
 #include "kernel/tcp.h"
 #include "net/flow.h"
 #include "overlay/netns.h"
+#include "telemetry/flow_table.h"
+#include "telemetry/latency.h"
 
 namespace prism::kernel {
 
 sim::Duration SocketDeliverer::deliver(Skb& skb, sim::Time at,
                                        overlay::Netns& ns) {
   skb.ts.socket_enqueue = at;
+#if PRISM_TELEMETRY_ENABLED
+  // The journey [nic_rx, socket_enqueue] is complete: attribute it per
+  // stage, once per skb (a GRO train shares its head's timestamps).
+  if (ledger_ != nullptr) ledger_->record_delivery(skb.ts, skb.priority);
+#endif
   sim::Duration extra =
       deliver_frame(skb, skb.buf.bytes(), skb.parsed ? &*skb.parsed : nullptr,
                     at, ns, skb.gro_chain.empty());
@@ -38,11 +45,26 @@ sim::Duration SocketDeliverer::deliver_frame(
     t_no_socket_drops_->inc();
     return 0;
   }
+#if PRISM_TELEMETRY_ENABLED
+  // Per-flow accounting (one record per wire frame, so a GRO train
+  // counts each merged segment). e2e < 0 skips the latency histogram
+  // for synthetically injected skbs without a nic_rx stamp.
+  const auto account = [&](bool delivered_ok) {
+    if (flows_ == nullptr) return;
+    flows_->record_frame(net::flow_of(*parsed), frame.size(),
+                         skb.priority,
+                         skb.ts.nic_rx >= 0 ? at - skb.ts.nic_rx : -1, at,
+                         delivered_ok);
+  };
+#else
+  const auto account = [](bool) {};
+#endif
   if (parsed->udp) {
     UdpSocket* sock = ns.sockets().lookup_udp(parsed->udp->dst_port);
     if (sock == nullptr) {
       ++drops_;
       t_no_socket_drops_->inc();
+      account(false);
       return 0;
     }
     Datagram d;
@@ -53,10 +75,12 @@ sim::Duration SocketDeliverer::deliver_frame(
               d.payload.begin());
     d.enqueued_at = at;
     d.high_priority = skb.high_priority();
+    d.priority = skb.priority;
     d.ts = skb.ts;
     sock->enqueue(std::move(d), at);
     ++delivered_;
     t_delivered_->inc();
+    account(true);
     return 0;
   }
   if (parsed->tcp) {
@@ -64,15 +88,18 @@ sim::Duration SocketDeliverer::deliver_frame(
     if (ep == nullptr) {
       ++drops_;
       t_no_socket_drops_->inc();
+      account(false);
       return 0;
     }
     ++delivered_;
     t_delivered_->inc();
+    account(true);
     return ep->handle_segment(*parsed->tcp, parsed->l4_payload, at,
                               final_frame);
   }
   ++drops_;
   t_no_socket_drops_->inc();
+  account(false);
   return 0;
 }
 

@@ -18,6 +18,11 @@ namespace prism::overlay {
 class Netns;
 }
 
+namespace prism::telemetry {
+class LatencyLedger;
+class FlowTable;
+}
+
 namespace prism::kernel {
 
 /// Routes delivered skbs (including GRO chains) into sockets.
@@ -28,6 +33,17 @@ class SocketDeliverer {
 
   void set_packet_trace(trace::PacketTrace* trace) noexcept {
     trace_ = trace;
+  }
+  const trace::PacketTrace* packet_trace() const noexcept { return trace_; }
+
+  /// Attaches the latency ledger and flow table (telemetry/latency.h,
+  /// telemetry/flow_table.h). Delivery is the one point where a packet's
+  /// journey is complete, so the per-stage breakdown and the per-flow
+  /// accounting are both recorded here. nullptr detaches.
+  void set_latency(telemetry::LatencyLedger* ledger,
+                   telemetry::FlowTable* flows) noexcept {
+    ledger_ = ledger;
+    flows_ = flows;
   }
 
   /// Delivers every frame carried by `skb` (head + GRO chain) to sockets
@@ -57,6 +73,8 @@ class SocketDeliverer {
   sim::Simulator& sim_;
   const CostModel& cost_;
   trace::PacketTrace* trace_ = nullptr;
+  telemetry::LatencyLedger* ledger_ = nullptr;
+  telemetry::FlowTable* flows_ = nullptr;
   std::uint64_t drops_ = 0;
   std::uint64_t delivered_ = 0;
   telemetry::Counter* t_delivered_ = &telemetry::Counter::sink();

@@ -22,11 +22,22 @@ namespace prism::kernel {
 
 /// Life-cycle timestamps of one packet through the reception pipeline.
 /// A value of -1 means "stage not traversed".
+///
+/// The *_start/_done pairs bracket each stage's service time; the gaps
+/// between a stage's `done` and the next stage's `start` are queue waits.
+/// Because the stamps are consecutive instants of one journey, the
+/// traversed segments telescope: they sum exactly to
+/// socket_enqueue - nic_rx, which is what lets the latency ledger
+/// (telemetry/latency.h) attribute end-to-end latency per stage without
+/// residue.
 struct SkbTimestamps {
-  sim::Time nic_rx = -1;      ///< frame landed in the NIC ring (DMA)
-  sim::Time stage1_done = -1; ///< NIC driver processing finished
-  sim::Time stage2_done = -1; ///< bridge processing finished
-  sim::Time stage3_done = -1; ///< backlog/veth processing finished
+  sim::Time nic_rx = -1;       ///< frame landed in the NIC ring (DMA)
+  sim::Time stage1_start = -1; ///< NIC driver poll dequeued the frame
+  sim::Time stage1_done = -1;  ///< NIC driver processing finished
+  sim::Time stage2_start = -1; ///< bridge stage began serving the skb
+  sim::Time stage2_done = -1;  ///< bridge processing finished
+  sim::Time stage3_start = -1; ///< backlog/veth stage began serving
+  sim::Time stage3_done = -1;  ///< backlog/veth processing finished
   sim::Time socket_enqueue = -1;  ///< enqueued to the socket buffer
 };
 

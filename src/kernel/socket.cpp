@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "telemetry/latency.h"
+
 namespace prism::kernel {
 
 UdpSocket::UdpSocket(sim::Simulator& sim, std::uint16_t port,
@@ -13,6 +15,11 @@ std::optional<Datagram> UdpSocket::try_recv() {
   if (queue_.empty()) return std::nullopt;
   Datagram d = std::move(queue_.front());
   queue_.pop_front();
+#if PRISM_TELEMETRY_ENABLED
+  if (ledger_ != nullptr) {
+    ledger_->record_socket_wait(sim_.now() - d.enqueued_at, d.priority);
+  }
+#endif
   return d;
 }
 

@@ -20,6 +20,10 @@
 #include "sim/simulator.h"
 #include "telemetry/metrics.h"
 
+namespace prism::telemetry {
+class LatencyLedger;
+}
+
 namespace prism::kernel {
 
 class TcpEndpoint;
@@ -35,6 +39,7 @@ struct Datagram {
   std::vector<std::uint8_t> payload;
   sim::Time enqueued_at = 0;   ///< instant it entered the socket buffer
   bool high_priority = false;  ///< PRISM classification (diagnostic)
+  int priority = 0;            ///< PRISM priority level (diagnostic)
   SkbTimestamps ts;            ///< pipeline timestamps (diagnostic)
 
   Datagram() = default;
@@ -85,6 +90,13 @@ class UdpSocket {
     t_depth_ = &reg.gauge(prefix + "rcvbuf_depth");
   }
 
+  /// Attaches the host's latency ledger: each try_recv records the
+  /// datagram's socket-buffer residence (enqueue -> recv) as the
+  /// socket_wait stage. nullptr detaches.
+  void set_latency_ledger(telemetry::LatencyLedger* ledger) noexcept {
+    ledger_ = ledger;
+  }
+
  private:
   sim::Simulator& sim_;
   std::uint16_t port_;
@@ -96,6 +108,7 @@ class UdpSocket {
   telemetry::Counter* t_enqueued_ = &telemetry::Counter::sink();
   telemetry::Counter* t_dropped_ = &telemetry::Counter::sink();
   telemetry::Gauge* t_depth_ = &telemetry::Gauge::sink();
+  telemetry::LatencyLedger* ledger_ = nullptr;
 };
 
 /// Per-namespace socket demultiplexer.

@@ -9,6 +9,7 @@ sim::Duration BacklogStage::process_one(SkbPtr skb, sim::Time at,
   auto cost = static_cast<sim::Duration>(
       static_cast<double>(cost_.backlog_stage_per_packet) *
       cost_multiplier);
+  skb->ts.stage3_start = at;
   skb->ts.stage3_done = at + cost;
   if (skb->dst_netns == nullptr) {
     ++dropped_;

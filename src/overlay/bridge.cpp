@@ -11,6 +11,7 @@ sim::Duration BridgeStage::process_one(kernel::SkbPtr skb, sim::Time at,
   auto cost = static_cast<sim::Duration>(
       static_cast<double>(cost_.bridge_stage_per_packet) *
       cost_multiplier);
+  skb->ts.stage2_start = at;
   // The skb carries the parse cached when it entered the pipeline; fall
   // back to parsing the Ethernet header for skbs injected without one.
   Netns* dst = nullptr;

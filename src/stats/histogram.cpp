@@ -67,7 +67,9 @@ void Histogram::record_n(std::int64_t value, std::uint64_t count) noexcept {
   if (count_ == 0 || value < min_) min_ = value;
   if (count_ == 0 || value > max_) max_ = value;
   count_ += count;
-  sum_ += static_cast<double>(value) * static_cast<double>(count);
+  const double v = static_cast<double>(value);
+  sum_ += v * static_cast<double>(count);
+  sum_sq_ += v * v * static_cast<double>(count);
 }
 
 void Histogram::merge(const Histogram& other) {
@@ -83,6 +85,7 @@ void Histogram::merge(const Histogram& other) {
   }
   count_ += other.count_;
   sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
 }
 
 double Histogram::mean() const noexcept {
@@ -92,13 +95,11 @@ double Histogram::mean() const noexcept {
 double Histogram::stddev() const noexcept {
   if (count_ < 2) return 0.0;
   const double m = mean();
-  double acc = 0.0;
-  for (std::size_t i = 0; i < buckets_.size(); ++i) {
-    if (buckets_[i] == 0) continue;
-    const double d = static_cast<double>(bucket_value(i)) - m;
-    acc += d * d * static_cast<double>(buckets_[i]);
-  }
-  return std::sqrt(acc / static_cast<double>(count_));
+  // Population variance from the exact running moments. The subtraction
+  // can go slightly negative from floating-point rounding when all values
+  // are (near-)identical; clamp instead of returning NaN.
+  const double var = sum_sq_ / static_cast<double>(count_) - m * m;
+  return var <= 0.0 ? 0.0 : std::sqrt(var);
 }
 
 std::int64_t Histogram::percentile(double q) const noexcept {
@@ -123,6 +124,7 @@ void Histogram::reset() noexcept {
   count_ = 0;
   min_ = max_ = 0;
   sum_ = 0.0;
+  sum_sq_ = 0.0;
 }
 
 }  // namespace prism::stats

@@ -46,7 +46,13 @@ class Histogram {
   /// sum, not bucket midpoints.
   double mean() const noexcept;
 
-  /// Standard deviation of recorded values, from bucket representatives.
+  /// Exact running sum of recorded values (0 if empty). Exact for totals
+  /// below 2^53 ns — far beyond any simulated experiment.
+  double sum() const noexcept { return sum_; }
+
+  /// Standard deviation of recorded values, from the exact running
+  /// sum-of-squares (consistent with mean(); bucket resolution plays no
+  /// part).
   double stddev() const noexcept;
 
   /// Value at quantile q in [0, 1]. Returns a bucket-representative value
@@ -82,6 +88,7 @@ class Histogram {
   std::int64_t min_ = 0;
   std::int64_t max_ = 0;
   double sum_ = 0.0;
+  double sum_sq_ = 0.0;
 };
 
 }  // namespace prism::stats

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "telemetry/json_writer.h"
+#include "telemetry/telemetry.h"
 
 namespace prism::telemetry {
 
@@ -61,6 +62,54 @@ void write_registry_json(JsonWriter& w, const Registry& registry) {
 std::string registry_json(const Registry& registry) {
   JsonWriter w;
   write_registry_json(w, registry);
+  return w.take();
+}
+
+void write_telemetry_json(JsonWriter& w, const Telemetry& telemetry,
+                          const std::vector<RingStat>& extra_rings) {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& c : telemetry.registry.counters()) {
+    w.member(c.name, c.value);
+  }
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& g : telemetry.registry.gauges()) {
+    w.key(g.name)
+        .begin_object()
+        .member("value", g.value)
+        .member("max", g.max_value)
+        .end_object();
+  }
+  w.end_object();
+  w.key("rings")
+      .begin_object()
+      .key("spans")
+      .begin_object()
+      .member("recorded", telemetry.tracer.recorded())
+      .member("retained",
+              static_cast<std::uint64_t>(telemetry.tracer.size()))
+      .member("dropped", telemetry.tracer.dropped())
+      .end_object();
+  for (const auto& ring : extra_rings) {
+    w.key(ring.name)
+        .begin_object()
+        .member("retained", ring.retained)
+        .member("dropped", ring.dropped)
+        .end_object();
+  }
+  w.end_object();
+  w.key("latency");
+  write_latency_json(w, telemetry.latency);
+  w.key("flows");
+  write_flow_table_json(w, telemetry.flows);
+  w.end_object();
+}
+
+std::string telemetry_json(const Telemetry& telemetry,
+                           const std::vector<RingStat>& extra_rings) {
+  JsonWriter w;
+  write_telemetry_json(w, telemetry, extra_rings);
   return w.take();
 }
 

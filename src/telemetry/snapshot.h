@@ -16,6 +16,7 @@
 namespace prism::telemetry {
 
 class JsonWriter;
+struct Telemetry;
 
 /// One CPU row of the softnet_stat table, mirroring the kernel's fields:
 /// packets processed by net_rx_action, input-queue drops, budget/time
@@ -52,5 +53,27 @@ void write_registry_json(JsonWriter& w, const Registry& registry);
 
 /// write_registry_json as a standalone document.
 std::string registry_json(const Registry& registry);
+
+/// Retention stats of one bounded ring beyond the bundle's own (a poll
+/// or packet trace attached to the host), reported under "rings" so
+/// truncation is never silent.
+struct RingStat {
+  std::string name;
+  std::uint64_t retained = 0;
+  std::uint64_t dropped = 0;
+};
+
+/// Full bundle dump: the registry (as write_registry_json) plus a
+/// "rings" section reporting the span tracer's recorded/retained/dropped
+/// (and any `extra_rings`) so ring truncation is visible in every
+/// export, a "latency" section (write_latency_json), and a "flows"
+/// section (write_flow_table_json).
+void write_telemetry_json(JsonWriter& w, const Telemetry& telemetry,
+                          const std::vector<RingStat>& extra_rings = {});
+
+/// write_telemetry_json as a standalone document (the "prism/telemetry"
+/// proc file).
+std::string telemetry_json(const Telemetry& telemetry,
+                           const std::vector<RingStat>& extra_rings = {});
 
 }  // namespace prism::telemetry

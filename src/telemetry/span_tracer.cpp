@@ -29,6 +29,14 @@ std::string SpanTracer::export_chrome_trace(
     std::string_view process_name) const {
   JsonWriter w;
   w.begin_object();
+  // Ring accounting up front so a consumer can tell whether the timeline
+  // is complete: dropped > 0 means the oldest spans were overwritten.
+  w.key("traceStats")
+      .begin_object()
+      .member("recorded", recorded_)
+      .member("retained", static_cast<std::uint64_t>(size()))
+      .member("dropped", dropped_)
+      .end_object();
   w.key("traceEvents").begin_array();
 
   // Metadata: process name, one thread row per labelled track.
@@ -67,11 +75,15 @@ std::string SpanTracer::export_chrome_trace(
     } else {
       w.member("ph", "X");
       w.member("dur", static_cast<double>(s.duration) / 1e3);
-      if (s.arg != 0) {
-        w.key("args")
-            .begin_object()
-            .member("packets", static_cast<std::uint64_t>(s.arg))
-            .end_object();
+      if (s.arg != 0 || s.arg2 != 0) {
+        w.key("args").begin_object();
+        if (s.arg != 0) {
+          w.member("packets", static_cast<std::uint64_t>(s.arg));
+        }
+        if (s.arg2 != 0) {
+          w.member("stage_ns", static_cast<std::uint64_t>(s.arg2));
+        }
+        w.end_object();
       }
     }
     w.end_object();

@@ -58,25 +58,28 @@ class SpanTracer {
     sim::Duration duration = 0;
     NameId name = 0;
     std::int16_t track = 0;
-    std::uint32_t arg = 0;  ///< e.g. packets processed by the poll
+    std::uint32_t arg = 0;   ///< e.g. packets processed by the poll
+    std::uint32_t arg2 = 0;  ///< e.g. in-stage service time, ns
     bool instant = false;
   };
 
   /// Records a complete span [begin, begin + duration) on `track`.
+  /// `arg`/`arg2` export as "packets"/"stage_ns" span args.
   void span(int track, NameId name, sim::Time begin, sim::Duration duration,
-            std::uint32_t arg = 0) {
+            std::uint32_t arg = 0, std::uint32_t arg2 = 0) {
 #if PRISM_TELEMETRY_ENABLED
     push(Span{begin, duration, name, static_cast<std::int16_t>(track), arg,
-              false});
+              arg2, false});
 #else
     (void)track; (void)name; (void)begin; (void)duration; (void)arg;
+    (void)arg2;
 #endif
   }
 
   /// Records a zero-duration marker (IRQ fire, preemption).
   void instant(int track, NameId name, sim::Time at) {
 #if PRISM_TELEMETRY_ENABLED
-    push(Span{at, 0, name, static_cast<std::int16_t>(track), 0, true});
+    push(Span{at, 0, name, static_cast<std::int16_t>(track), 0, 0, true});
 #else
     (void)track; (void)name; (void)at;
 #endif

@@ -1,6 +1,9 @@
-// Per-host telemetry bundle: metrics registry + timeline span tracer.
+// Per-host telemetry bundle: metrics registry, timeline span tracer,
+// latency attribution ledger, and per-flow accounting table.
 #pragma once
 
+#include "telemetry/flow_table.h"
+#include "telemetry/latency.h"
 #include "telemetry/metrics.h"
 #include "telemetry/span_tracer.h"
 
@@ -8,10 +11,14 @@ namespace prism::telemetry {
 
 /// Everything one Host's instrumentation binds to. The registry is always
 /// live (counters are near-free); the tracer only receives spans while a
-/// component has it attached.
+/// component has it attached. The latency ledger and flow table record on
+/// every delivery unless disabled at runtime (set_enabled) or compiled
+/// out (-DPRISM_TELEMETRY=OFF).
 struct Telemetry {
   Registry registry;
   SpanTracer tracer;
+  LatencyLedger latency;
+  FlowTable flows;
 };
 
 }  // namespace prism::telemetry

@@ -57,6 +57,60 @@ TEST(StageTransitionTest, PrismSyncLowStillQueues) {
   EXPECT_TRUE(p.deliveries.empty());
 }
 
+TEST(StageTransitionTest, PrismQueuesRoutesByPriorityLikeBatch) {
+  Pipeline p(NapiMode::kPrismQueues);
+  const auto low_cost = p.transition.transit(make_skb(false), 0, p.veth);
+  const auto high_cost = p.transition.transit(make_skb(true), 0, p.veth);
+  // The queues-only ablation never runs anything inline.
+  EXPECT_EQ(low_cost, 0);
+  EXPECT_EQ(high_cost, 0);
+  EXPECT_EQ(p.veth.low_queue.size(), 1u);
+  EXPECT_EQ(p.veth.high_queue.size(), 1u);
+  EXPECT_TRUE(p.veth.scheduled);
+  EXPECT_TRUE(p.deliveries.empty());
+}
+
+TEST(StageTransitionTest, PrismQueuesIgnoresHeadInsertionHint) {
+  // Same transit call, two modes: batch head-inserts the device for a
+  // high packet, the queues ablation keeps strict tail order (§V
+  // ablation: priority queues without poll-list preemption).
+  Pipeline batch(NapiMode::kPrismBatch);
+  batch.transition.transit(make_skb(true), 0, batch.veth);
+  EXPECT_EQ(batch.engine.head_inserts(), 1u);
+
+  Pipeline queues(NapiMode::kPrismQueues);
+  queues.transition.transit(make_skb(true), 0, queues.veth);
+  EXPECT_EQ(queues.engine.head_inserts(), 0u);
+
+  // Nor does a high packet *move* an already-scheduled device to the
+  // head in queues mode.
+  queues.transition.transit(make_skb(true), 0, queues.veth);
+  EXPECT_EQ(queues.engine.head_inserts(), 0u);
+  Pipeline batch2(NapiMode::kPrismBatch);
+  batch2.transition.transit(make_skb(false), 0, batch2.veth);
+  batch2.transition.transit(make_skb(true), 0, batch2.veth);
+  EXPECT_EQ(batch2.engine.head_inserts(), 1u);
+}
+
+TEST(StageTransitionTest, OnlySyncReturnsInlineCost) {
+  // transit()'s return value is the run-to-completion cost chained onto
+  // the current packet; every mode but prism-sync must return 0.
+  for (const auto mode :
+       {NapiMode::kVanilla, NapiMode::kPrismBatch, NapiMode::kPrismQueues,
+        NapiMode::kPrismSync}) {
+    Pipeline p(mode);
+    const auto low = p.transition.transit(make_skb(false), 0, p.veth);
+    const auto high = p.transition.transit(make_skb(true), 0, p.veth);
+    EXPECT_EQ(low, 0) << static_cast<int>(mode);
+    if (mode == NapiMode::kPrismSync) {
+      EXPECT_EQ(high,
+                p.cost.sync_transition + p.cost.backlog_stage_per_packet);
+    } else {
+      EXPECT_EQ(high, 0) << static_cast<int>(mode);
+    }
+  }
+}
+
 TEST(StageTransitionTest, PrismSyncChainsThroughMultipleStages) {
   // A high packet entering br in sync mode runs br AND veth inline.
   Pipeline p(NapiMode::kPrismSync);

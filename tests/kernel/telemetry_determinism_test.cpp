@@ -11,6 +11,8 @@
 
 #include "apps/sockperf.h"
 #include "harness/testbed.h"
+#include "telemetry/flow_table.h"
+#include "telemetry/latency.h"
 #include "telemetry/snapshot.h"
 #include "telemetry/span_tracer.h"
 #include "trace/poll_trace.h"
@@ -39,6 +41,13 @@ RunResult run_scenario(kernel::NapiMode mode, bool instrumented) {
 
   if (instrumented) {
     tb.attach_span_tracer(tracer);
+  } else {
+    // The A/B also covers the latency ledger and flow table: the
+    // uninstrumented arm runs with both disabled on both hosts.
+    tb.server().latency_ledger().set_enabled(false);
+    tb.server().flow_table().set_enabled(false);
+    tb.client().latency_ledger().set_enabled(false);
+    tb.client().flow_table().set_enabled(false);
   }
 
   apps::SockperfServer server(
@@ -63,16 +72,29 @@ RunResult run_scenario(kernel::NapiMode mode, bool instrumented) {
       // Mid-flight snapshots must be pure reads.
       (void)tb.server().softnet_stat();
       (void)telemetry::registry_json(tb.server().metrics());
+      (void)telemetry::latency_json(tb.server().latency_ledger());
+      (void)telemetry::flow_table_json(tb.server().flow_table());
     }
   });
   tb.sim().run_until(sim::milliseconds(5));
   tb.server().set_poll_trace(tb.server().default_rx_cpu(), nullptr);
 
 #if PRISM_TELEMETRY_ENABLED
+  std::uint64_t attributed = 0;
+  for (int level = 0; level < telemetry::kNumLatencyClasses; ++level) {
+    attributed += tb.server()
+                      .latency_ledger()
+                      .histogram(telemetry::LatencyStage::kEndToEnd, level)
+                      .count();
+  }
   if (instrumented) {
     EXPECT_GT(tracer.recorded(), 0u);
+    EXPECT_GT(attributed, 0u);
+    EXPECT_GT(tb.server().flow_table().size(), 0u);
   } else {
     EXPECT_EQ(tracer.recorded(), 0u);
+    EXPECT_EQ(attributed, 0u);
+    EXPECT_EQ(tb.server().flow_table().size(), 0u);
   }
 #else
   EXPECT_EQ(tracer.recorded(), 0u);  // compiled out: nothing records

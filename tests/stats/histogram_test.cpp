@@ -139,7 +139,46 @@ TEST(HistogramTest, HugeValuesDoNotOverflow) {
 TEST(HistogramTest, StddevOfConstantIsZero) {
   Histogram h;
   h.record_n(1000, 100);
-  EXPECT_NEAR(h.stddev(), 0.0, 20.0);  // within bucket width
+  // Exact running moments: bucket width no longer smears a constant.
+  EXPECT_DOUBLE_EQ(h.stddev(), 0.0);
+}
+
+TEST(HistogramTest, StddevIsExact) {
+  // Textbook set: {2,4,4,4,5,5,7,9} has mean 5 and population stddev
+  // exactly 2 — representable in doubles, so no tolerance needed.
+  Histogram h;
+  for (const std::int64_t v : {2, 4, 4, 4, 5, 5, 7, 9}) h.record(v);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(h.stddev(), 2.0);
+}
+
+TEST(HistogramTest, StddevSurvivesMergeAndWeightedRecords) {
+  // The same textbook set assembled from weighted records across two
+  // histograms must give the identical exact moments.
+  Histogram a;
+  a.record(2);
+  a.record_n(4, 3);
+  Histogram b;
+  b.record_n(5, 2);
+  b.record(7);
+  b.record(9);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.stddev(), 2.0);
+}
+
+TEST(HistogramTest, StddevEdgeCases) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.stddev(), 0.0);  // empty
+  h.record(42);
+  EXPECT_DOUBLE_EQ(h.stddev(), 0.0);  // single sample
+  h.record(44);
+  EXPECT_DOUBLE_EQ(h.stddev(), 1.0);  // {42,44}: mean 43, stddev 1
+  h.reset();
+  EXPECT_DOUBLE_EQ(h.stddev(), 0.0);  // reset clears the moments
+  h.record(2);
+  h.record(4);
+  EXPECT_DOUBLE_EQ(h.stddev(), 1.0);
 }
 
 TEST(HistogramTest, ForEachBucketVisitsAllCounts) {
