@@ -1,0 +1,271 @@
+// Fault-injection stress sweep: drives the overlay pipeline through every
+// fault mode at 1% / 10% / 50% rates and asserts the conservation
+// invariant to the packet:
+//
+//     sends + injected duplicates == delivered + dropped-with-reason
+//
+// per priority class for payload-safe fault groups (loss, payload-only
+// corruption, resource exhaustion, the mixed sweep), and at total level
+// for the header-corrupt/truncate group (a frame whose classification
+// bits were destroyed can only be attributed to class 0). Each scenario
+// also checks that pool storage returns to baseline — no drop path leaks.
+//
+// A determinism pass re-runs one mixed scenario with the same seed (twice
+// pooled, once with pools disabled) and requires bit-identical
+// prism/faults snapshots.
+//
+// Usage: stress_fault [seed]   (default seed 1; CI sweeps several)
+// Exit status is non-zero if any invariant fails — registered with ctest
+// under the "stress" label.
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "fault/fault.h"
+#include "harness/testbed.h"
+#include "kernel/skb_pool.h"
+#include "sim/pool.h"
+#include "stats/table.h"
+
+namespace prism::bench {
+namespace {
+
+constexpr int kClasses = 3;
+constexpr std::uint64_t kPerClass = 300;
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (!ok) {
+    ++g_failures;
+    std::printf("FAIL: %s\n", what.c_str());
+  }
+}
+
+struct PoolBaseline {
+  std::uint64_t skb_outstanding;
+  std::uint64_t buf_outstanding;
+
+  static PoolBaseline capture() {
+    const auto& s = kernel::SkbPool::instance().stats();
+    const auto& b = sim::BufferPool::instance().stats();
+    return {s.acquired - s.released - s.discarded,
+            b.acquired - b.released - b.discarded};
+  }
+};
+
+struct RunResult {
+  std::array<std::uint64_t, kClasses> received{};
+  std::array<std::uint64_t, kClasses> duplicates{};
+  std::array<std::uint64_t, kClasses> class_drops{};
+  fault::FaultCounters counters;
+  std::array<std::uint64_t, fault::kNumDropReasons> reason_totals{};
+  std::uint64_t total_drops = 0;
+  std::string json;
+};
+
+/// One overlay scenario: three containers-to-container UDP streams, one
+/// per priority class, pushed through a server armed with `fc`.
+RunResult run_scenario(const fault::FaultConfig& fc) {
+  harness::TestbedConfig cfg;
+  cfg.mode = kernel::NapiMode::kPrismBatch;
+  cfg.server_faults = fc;
+  harness::Testbed tb(cfg);
+  auto& c1 = tb.add_client_container("c1");
+  auto& c2 = tb.add_server_container("c2");
+  std::array<kernel::UdpSocket*, kClasses> socks = {
+      &tb.server().udp_bind(c2, 7000), &tb.server().udp_bind(c2, 7001),
+      &tb.server().udp_bind(c2, 7002)};
+  tb.server().priority_db().add(c2.ip(), 7001, 1);
+  tb.server().priority_db().add(c2.ip(), 7002, 2);
+
+  for (std::uint64_t i = 0; i < kPerClass; ++i) {
+    for (int cls = 0; cls < kClasses; ++cls) {
+      tb.sim().schedule_at(
+          static_cast<sim::Time>(i * kClasses + cls) * 4'000, [&, cls] {
+            tb.client().udp_send(c1, tb.client().cpu(1), 4444, c2.ip(),
+                                 static_cast<std::uint16_t>(7000 + cls),
+                                 std::vector<std::uint8_t>(64, 0x11));
+          });
+    }
+  }
+  tb.sim().run();
+
+  RunResult r;
+  const auto& layer = tb.server().faults();
+  for (int cls = 0; cls < kClasses; ++cls) {
+    r.received[cls] = socks[cls]->received();
+    r.duplicates[cls] = layer.plan.duplicates_for_class(cls);
+    r.class_drops[cls] = layer.drops.class_total(cls);
+  }
+  r.counters = layer.plan.counters();
+  for (int reason = 0; reason < fault::kNumDropReasons; ++reason) {
+    r.reason_totals[static_cast<std::size_t>(reason)] =
+        layer.drops.total(static_cast<fault::DropReason>(reason));
+  }
+  r.total_drops = layer.drops.total_drops();
+  r.json = tb.server().proc().read("prism/faults");
+  return r;
+}
+
+std::string reason_breakdown(const RunResult& r) {
+  std::string out;
+  for (int reason = 0; reason < fault::kNumDropReasons; ++reason) {
+    const auto n = r.reason_totals[static_cast<std::size_t>(reason)];
+    if (n == 0) continue;
+    if (!out.empty()) out += " ";
+    out += fault::drop_reason_name(static_cast<fault::DropReason>(reason));
+    out += "=" + std::to_string(n);
+  }
+  return out.empty() ? "-" : out;
+}
+
+struct FaultGroup {
+  const char* name;
+  bool per_class;  ///< conservation holds per class (else total only)
+  void (*apply)(fault::FaultConfig&, double rate);
+};
+
+const FaultGroup kGroups[] = {
+    {"loss", true,
+     [](fault::FaultConfig& c, double r) { c.wire_drop_rate = r; }},
+    {"payload-corrupt", true,
+     [](fault::FaultConfig& c, double r) {
+       c.wire_corrupt_rate = r;
+       c.decap_corrupt_rate = r;
+     }},
+    {"resource", true,
+     [](fault::FaultConfig& c, double r) {
+       c.ring_full_rate = r;
+       c.backlog_full_rate = r;
+       c.skb_alloc_fail_rate = r;
+       c.buf_alloc_fail_rate = r;
+     }},
+    {"mixed", true,
+     [](fault::FaultConfig& c, double r) {
+       c.wire_drop_rate = r;
+       c.wire_corrupt_rate = r;
+       c.wire_duplicate_rate = r;
+       c.wire_reorder_rate = r;
+       c.decap_corrupt_rate = r;
+       c.ring_full_rate = r / 2;
+       c.backlog_full_rate = r / 2;
+       c.skb_alloc_fail_rate = r / 2;
+       c.buf_alloc_fail_rate = r / 2;
+     }},
+    {"header-corrupt", false,
+     [](fault::FaultConfig& c, double r) {
+       c.wire_corrupt_rate = r;
+       c.wire_truncate_rate = r;
+       c.corrupt_payload_only = false;
+     }},
+};
+
+void sweep(std::uint64_t seed) {
+  stats::Table table(
+      {"group", "rate", "sent", "dups", "delivered", "dropped", "reasons"});
+  for (const auto& group : kGroups) {
+    for (const double rate : {0.01, 0.10, 0.50}) {
+      fault::FaultConfig fc;
+      fc.seed = seed;
+      group.apply(fc, rate);
+
+      const PoolBaseline before = PoolBaseline::capture();
+      const RunResult r = run_scenario(fc);
+      const PoolBaseline after = PoolBaseline::capture();
+
+      const std::string tag = std::string(group.name) + " @ " +
+                              pct(rate) + " seed=" + std::to_string(seed);
+      check(after.skb_outstanding == before.skb_outstanding,
+            tag + ": skb pool leak (" +
+                std::to_string(after.skb_outstanding -
+                               before.skb_outstanding) +
+                " outstanding)");
+      check(after.buf_outstanding == before.buf_outstanding,
+            tag + ": buffer pool leak");
+
+      std::uint64_t delivered = 0;
+      std::uint64_t duplicates = 0;
+      for (int cls = 0; cls < kClasses; ++cls) {
+        delivered += r.received[cls];
+        duplicates += r.duplicates[cls];
+        if (!group.per_class) continue;
+        const std::uint64_t injected = kPerClass + r.duplicates[cls];
+        const std::uint64_t accounted =
+            r.received[cls] + r.class_drops[cls];
+        check(injected == accounted,
+              tag + ": class " + std::to_string(cls) + " conservation " +
+                  std::to_string(injected) + " != " +
+                  std::to_string(accounted));
+      }
+      const std::uint64_t injected_total =
+          kPerClass * kClasses + duplicates;
+      check(injected_total == delivered + r.total_drops,
+            tag + ": total conservation " + std::to_string(injected_total) +
+                " != " + std::to_string(delivered + r.total_drops));
+
+      table.add_row({group.name, pct(rate), std::to_string(kPerClass * kClasses),
+                     std::to_string(duplicates), std::to_string(delivered),
+                     std::to_string(r.total_drops), reason_breakdown(r)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+void determinism(std::uint64_t seed) {
+  fault::FaultConfig fc;
+  fc.seed = seed;
+  for (const auto& group : kGroups) {
+    if (std::string(group.name) == "mixed") group.apply(fc, 0.10);
+  }
+  const auto run = [&fc](bool pools) {
+    kernel::SkbPool::instance().set_enabled(pools);
+    sim::BufferPool::instance().set_enabled(pools);
+    return run_scenario(fc).json;
+  };
+  const std::string pooled_a = run(true);
+  const std::string pooled_b = run(true);
+  const std::string unpooled = run(false);
+  kernel::SkbPool::instance().set_enabled(true);
+  sim::BufferPool::instance().set_enabled(true);
+  check(pooled_a == pooled_b,
+        "determinism: same seed, pools on, snapshots differ");
+  check(pooled_a == unpooled,
+        "determinism: pools on vs off, snapshots differ");
+  std::printf("determinism: 3 runs (2 pooled, 1 unpooled), seed %llu -> %s\n\n",
+              static_cast<unsigned long long>(fc.seed),
+              g_failures == 0 ? "bit-identical snapshots" : "MISMATCH");
+}
+
+int main_impl(int argc, char** argv) {
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+  print_header("stress_fault",
+               "fault-rate sweep with per-class conservation checks");
+#if !PRISM_FAULTS_ENABLED
+  std::printf("fault injection compiled out (PRISM_FAULTS=OFF) — nothing "
+              "to stress\n");
+  return 0;
+#else
+  sweep(seed);
+  determinism(seed);
+  if (g_failures == 0) {
+    std::printf("stress_fault: all conservation invariants held (seed %llu)\n",
+                static_cast<unsigned long long>(seed));
+    return 0;
+  }
+  std::printf("stress_fault: %d invariant violation(s)\n", g_failures);
+  return 1;
+#endif
+}
+
+}  // namespace
+}  // namespace prism::bench
+
+int main(int argc, char** argv) {
+  return prism::bench::main_impl(argc, argv);
+}

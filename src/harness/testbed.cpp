@@ -29,6 +29,7 @@ kernel::HostConfig server_config(const TestbedConfig& cfg) {
   h.cost = cfg.cost;
   h.nic_ring_capacity = cfg.nic_ring_capacity;
   h.coalesce = cfg.coalesce;
+  h.faults = cfg.server_faults;
   return h;
 }
 

@@ -34,6 +34,11 @@ struct TestbedConfig {
   double wire_gbps = 100.0;
   sim::Duration propagation = sim::nanoseconds(500);
   std::uint32_t vni = 42;
+  /// Fault injection on the server under test (default: inactive). The
+  /// client stays fault-free so generated load is exactly what was asked
+  /// for; stress scenarios that need client-side faults can call
+  /// client().configure_faults() directly.
+  fault::FaultConfig server_faults;
 };
 
 /// Two hosts, a wire, and one overlay network.

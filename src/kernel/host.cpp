@@ -19,6 +19,8 @@ constexpr std::size_t kOverlayMtu = net::kMtu - net::kEncapHeadroom;
 // added to one must be added to the other.
 static_assert(telemetry::kNumLatencyClasses == kNumPriorityLevels,
               "latency ledger classes must mirror PRISM priority levels");
+static_assert(fault::kNumFaultClasses == kNumPriorityLevels,
+              "drop ledger classes must mirror PRISM priority levels");
 
 }  // namespace
 
@@ -57,6 +59,24 @@ Host::Host(sim::Simulator& sim, HostConfig config)
   deliverer_->bind_telemetry(telemetry_.registry, "sockets.");
   deliverer_->set_latency(&telemetry_.latency, &telemetry_.flows);
 
+  // Fault layer: arm the plan from the config and give the drop ledger
+  // its class axis. Drop sites that only hold raw bytes (the NIC ring)
+  // classify through the priority DB exactly as the stage-1 poll would
+  // have, so per-class conservation can be asserted across the drop. In
+  // vanilla mode every packet is class 0, mirroring the delivery path.
+  faults_.plan.configure(cfg_.faults);
+  faults_.drops.set_classifier(
+      [this](std::span<const std::uint8_t> frame) {
+        return mode() == NapiMode::kVanilla ? 0
+                                            : priority_db_.classify(frame);
+      });
+  faults_.drops.set_observer([this](fault::DropReason, int level) {
+    telemetry_.latency.record_dropped(level);
+  });
+  faults_.drops.bind_telemetry(telemetry_.registry, "faults.");
+  nic_->set_faults(&faults_);
+  deliverer_->set_faults(&faults_);
+
   // Per-CPU softirq machinery.
   for (int i = 0; i < cfg_.num_cpus; ++i) {
     auto pc = std::make_unique<PerCpu>();
@@ -75,6 +95,8 @@ Host::Host(sim::Simulator& sim, HostConfig config)
                                 cpu_prefix + "backlog.");
     pc->backlog_stage->bind_telemetry(telemetry_.registry,
                                       cpu_prefix + "veth.");
+    pc->backlog->set_faults(&faults_);
+    pc->backlog_stage->set_faults(&faults_);
     per_cpu_.push_back(std::move(pc));
   }
 
@@ -90,6 +112,7 @@ Host::Host(sim::Simulator& sim, HostConfig config)
     ctx.deliverer = deliverer_.get();
     ctx.root_ns = root_ns_.get();
     ctx.ledger = &telemetry_.latency;
+    ctx.faults = &faults_;
     ctx.vxlan_lookup = [this, cpu_idx](std::uint32_t vni) -> QueueNapi* {
       const auto it = bridges_.find(vni);
       return it == bridges_.end() ? nullptr
@@ -151,6 +174,9 @@ Host::Host(sim::Simulator& sim, HostConfig config)
   proc_->register_file("prism/flows", [this] {
     return telemetry::flow_table_json(telemetry_.flows);
   });
+  proc_->register_file("prism/faults", [this] {
+    return fault::faults_json(faults_);
+  });
 }
 
 Host::~Host() = default;
@@ -183,6 +209,8 @@ overlay::Bridge& Host::bridge(std::uint32_t vni) {
       bundle.bridge->stage(c).bind_telemetry(telemetry_.registry, prefix);
       bundle.bridge->cell(c).bind_telemetry(telemetry_.registry,
                                             prefix + "cell.");
+      bundle.bridge->stage(c).set_faults(&faults_);
+      bundle.bridge->cell(c).set_faults(&faults_);
     }
     if (!cfg_.rps_cpus.empty()) {
       std::vector<overlay::RpsTarget> targets;
@@ -269,6 +297,13 @@ void Host::deliver_local(BridgeBundle& bundle, net::PacketBuf frame) {
   const int cpu_idx = default_rx_cpu();
   PerCpu& pc = *per_cpu_[static_cast<std::size_t>(cpu_idx)];
   auto skb = alloc_skb();
+  if (!skb) {
+    // Pool exhausted: the local frame is dropped (and its PacketBuf
+    // storage recycled by ~PacketBuf), never silently lost.
+    faults_.drops.record_frame(fault::DropReason::kAllocFail,
+                               frame.bytes());
+    return;
+  }
   skb->parsed.emplace();
   if (!net::parse_frame_into(frame.bytes(), *skb->parsed)) {
     skb->parsed.reset();
@@ -300,6 +335,7 @@ UdpSocket& Host::udp_bind(overlay::Netns& ns, std::uint16_t port,
   auto sock = std::make_unique<UdpSocket>(sim_, port, capacity);
   sock->bind_telemetry(telemetry_.registry, "sockets.");
   sock->set_latency_ledger(&telemetry_.latency);
+  sock->set_faults(&faults_);
   ns.sockets().bind_udp(*sock);
   udp_sockets_.push_back(std::move(sock));
   return *udp_sockets_.back();

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.h"
 #include "kernel/cost_model.h"
 #include "kernel/cpu.h"
 #include "kernel/napi.h"
@@ -59,6 +60,9 @@ struct HostConfig {
   /// NIC interrupt moderation (default off; the testbed enables it to
   /// match the ConnectX-5's adaptive behaviour).
   nic::CoalesceConfig coalesce;
+  /// Fault injection (default: all rates zero, i.e. inactive). The drop
+  /// ledger accounts natural drops even when no fault is armed.
+  fault::FaultConfig faults;
 };
 
 /// One simulated machine.
@@ -85,6 +89,16 @@ class Host {
   }
   /// CPU that queue 0 interrupts — the paper's "packet processing core".
   int default_rx_cpu() const noexcept { return queue_cpu_map_[0]; }
+
+  // --------------------------------------------------------------- faults
+  /// The host's fault layer: the seeded injection plan plus the drop
+  /// ledger every drop path reports into (proc: "prism/faults").
+  fault::FaultLayer& faults() noexcept { return faults_; }
+  const fault::FaultLayer& faults() const noexcept { return faults_; }
+  /// Re-arms the fault plan (reseeds the RNG, zeroes injection counters).
+  void configure_faults(const fault::FaultConfig& cfg) {
+    faults_.plan.configure(cfg);
+  }
 
   // --------------------------------------------------------------- PRISM
   prism::PriorityDb& priority_db() noexcept { return priority_db_; }
@@ -209,6 +223,10 @@ class Host {
   /// Declared before every component so the registry (whose counters the
   /// components hold resolved pointers into) outlives them on teardown.
   telemetry::Telemetry telemetry_;
+  /// Declared right after the telemetry (its counters live in the
+  /// registry) and before every pipeline component that holds a pointer
+  /// into it, so it outlives them all on teardown.
+  fault::FaultLayer faults_;
   telemetry::SpanTracer* tracer_ = nullptr;
   int track_base_ = 0;
   telemetry::SpanTracer::NameId irq_name_ = 0;

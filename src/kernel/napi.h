@@ -12,6 +12,7 @@
 #include <functional>
 #include <string>
 
+#include "fault/fault.h"
 #include "kernel/cost_model.h"
 #include "kernel/skb.h"
 #include "sim/time.h"
@@ -101,9 +102,20 @@ class NapiStruct {
   bool enqueue(SkbPtr skb, int level) {
     level = clamp_level(level);
     auto& q = queues[static_cast<std::size_t>(level)];
-    if (q.size() >= queue_limit) {
+    bool full = q.size() >= queue_limit;
+#if PRISM_FAULTS_ENABLED
+    if (!full && faults_ != nullptr && faults_->plan.force_backlog_full()) {
+      full = true;
+    }
+#endif
+    if (full) {
       ++(level > 0 ? high_dropped_ : low_dropped_);
       t_dropped_->inc();
+      if (faults_ != nullptr) {
+        faults_->drops.record(fault::DropReason::kBacklogFull, level);
+      }
+      // Returning false destroys the caller's skb, recycling it (and its
+      // buffer storage) through the pools.
       return false;
     }
     q.push_back(std::move(skb));
@@ -111,6 +123,11 @@ class NapiStruct {
     t_depth_->set(static_cast<std::int64_t>(q.size()));
     return true;
   }
+
+  /// Attaches the host's fault layer: backlog drops are attributed to the
+  /// drop ledger, and the plan may force backlog-full episodes. nullptr
+  /// detaches.
+  void set_faults(fault::FaultLayer* faults) noexcept { faults_ = faults; }
 
   /// Binds this device's enqueue/drop counters and per-queue depth
   /// watermark under `prefix` (several devices may share a prefix for
@@ -164,6 +181,7 @@ class NapiStruct {
 
  private:
   std::string name_;
+  fault::FaultLayer* faults_ = nullptr;
   std::uint64_t low_dropped_ = 0;
   std::uint64_t high_dropped_ = 0;
   telemetry::Counter* t_enqueued_ = &telemetry::Counter::sink();

@@ -66,8 +66,16 @@ PollOutcome NicNapi::poll(int batch, sim::Time start) {
 
     net::ParsedFrame parsed;
     if (!net::parse_frame_into(entry->frame.bytes(), parsed)) {
-      ++dropped_;
-      t_unroutable_->inc();
+      // Receive-side validation: bad IPv4 checksum, short/truncated
+      // buffers and inconsistent lengths all fail parse_frame_into.
+      // Dropping here (instead of processing garbage) is what the kernel's
+      // ip_rcv does; the ring entry's storage recycles on destruction.
+      ++dropped_malformed_;
+      t_malformed_->inc();
+      if (ctx_.faults != nullptr) {
+        ctx_.faults->drops.record_frame(fault::DropReason::kMalformed,
+                                        entry->frame.bytes());
+      }
       out.cost += scaled(ctx_.cost->nic_stage_per_packet);
       continue;
     }
@@ -82,6 +90,16 @@ PollOutcome NicNapi::poll(int batch, sim::Time start) {
     if (parsed.is_vxlan()) {
       vxlan = net::VxlanHeader::parse(parsed.l4_payload);
       if (vxlan) {
+#if PRISM_FAULTS_ENABLED
+        if (ctx_.faults != nullptr && ctx_.faults->plan.active()) {
+          // Decap-time corruption hits the inner frame only, after the
+          // outer headers were validated — the ONCache-style failure
+          // surface where encap/decap bugs bite.
+          ctx_.faults->plan.maybe_corrupt_decap(
+              entry->frame.mutable_bytes().subspan(
+                  parsed.l4_payload_offset + net::VxlanHeader::kSize));
+        }
+#endif
         inner.emplace();
         if (!net::parse_frame_into(
                 parsed.l4_payload.subspan(net::VxlanHeader::kSize),
@@ -100,7 +118,27 @@ PollOutcome NicNapi::poll(int batch, sim::Time start) {
     }
     const bool high = level > 0;
 
+#if PRISM_FAULTS_ENABLED
+    if (ctx_.faults != nullptr && ctx_.faults->plan.skb_alloc_fails()) {
+      // Injected SkbPool starvation: the frame is dropped exactly where
+      // the real driver drops on alloc failure — after classification,
+      // before any skb state exists. The ring entry recycles on scope
+      // exit.
+      ctx_.faults->drops.record(fault::DropReason::kAllocFail, level);
+      out.cost += scaled(ctx_.cost->nic_stage_per_packet);
+      continue;
+    }
+#endif
     auto skb = alloc_skb();
+    if (!skb) {
+      // Genuine pool exhaustion degrades the same way as injected
+      // starvation: drop, count, move on.
+      if (ctx_.faults != nullptr) {
+        ctx_.faults->drops.record(fault::DropReason::kAllocFail, level);
+      }
+      out.cost += scaled(ctx_.cost->nic_stage_per_packet);
+      continue;
+    }
     skb->priority = level;
     skb->ts.nic_rx = entry->arrived;
     skb->ts.stage1_start = dequeued;
@@ -116,6 +154,9 @@ PollOutcome NicNapi::poll(int batch, sim::Time start) {
       if (bridge == nullptr) {
         ++dropped_;
         t_unroutable_->inc();
+        if (ctx_.faults != nullptr) {
+          ctx_.faults->drops.record(fault::DropReason::kUnroutable, level);
+        }
         out.cost += scaled(ctx_.cost->nic_stage_per_packet);
         continue;
       }
@@ -142,6 +183,9 @@ PollOutcome NicNapi::poll(int batch, sim::Time start) {
     } else {
       ++dropped_;
       t_unroutable_->inc();
+      if (ctx_.faults != nullptr) {
+        ctx_.faults->drops.record(fault::DropReason::kUnroutable, level);
+      }
       out.cost += scaled(ctx_.cost->nic_stage_per_packet);
       continue;
     }

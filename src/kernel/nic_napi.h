@@ -56,6 +56,9 @@ struct NicNapiContext {
   overlay::Netns* root_ns = nullptr;
   /// Optional: receives IRQ->poll durations (telemetry/latency.h).
   telemetry::LatencyLedger* ledger = nullptr;
+  /// Optional: the host's fault layer (drop attribution, decap
+  /// corruption, skb alloc-failure injection).
+  fault::FaultLayer* faults = nullptr;
   /// Resolves a VNI to this CPU's bridge gro_cell, nullptr if unknown.
   std::function<QueueNapi*(std::uint32_t vni)> vxlan_lookup;
 };
@@ -74,6 +77,11 @@ class NicNapi final : public NapiStruct {
   void on_complete() override { ring_.enable_irq(); }
 
   std::uint64_t dropped_unroutable() const noexcept { return dropped_; }
+  /// Frames that failed wire-format validation (parse error, bad IPv4
+  /// checksum, bad lengths) — distinct from unroutable, which parsed fine.
+  std::uint64_t dropped_malformed() const noexcept {
+    return dropped_malformed_;
+  }
   std::uint64_t gro_merged() const noexcept { return gro_merged_; }
 
   /// Called by the host's IRQ handler at the interrupt instant. The next
@@ -87,6 +95,7 @@ class NicNapi final : public NapiStruct {
   /// Registers driver-poll counters under `prefix` (e.g. "nic.q0.").
   void bind_telemetry(telemetry::Registry& reg, const std::string& prefix) {
     t_unroutable_ = &reg.counter(prefix + "unroutable_drops");
+    t_malformed_ = &reg.counter(prefix + "malformed_drops");
     t_gro_merged_ = &reg.counter(prefix + "gro_merged");
   }
 
@@ -111,8 +120,10 @@ class NicNapi final : public NapiStruct {
   NicNapiContext ctx_;
   sim::Time irq_at_ = -1;  ///< pending IRQ instant, -1 = none
   std::uint64_t dropped_ = 0;
+  std::uint64_t dropped_malformed_ = 0;
   std::uint64_t gro_merged_ = 0;
   telemetry::Counter* t_unroutable_ = &telemetry::Counter::sink();
+  telemetry::Counter* t_malformed_ = &telemetry::Counter::sink();
   telemetry::Counter* t_gro_merged_ = &telemetry::Counter::sink();
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault.h"
 #include "kernel/socket.h"
 #include "sim/pool.h"
 #include "kernel/tcp.h"
@@ -43,6 +44,9 @@ sim::Duration SocketDeliverer::deliver_frame(
   if (!parsed) {
     ++drops_;
     t_no_socket_drops_->inc();
+    if (faults_ != nullptr) {
+      faults_->drops.record(fault::DropReason::kMalformed, skb.priority);
+    }
     return 0;
   }
 #if PRISM_TELEMETRY_ENABLED
@@ -60,13 +64,44 @@ sim::Duration SocketDeliverer::deliver_frame(
   const auto account = [](bool) {};
 #endif
   if (parsed->udp) {
+    // Receive-side L4 validation: a UDP checksum of zero means "not
+    // computed" (RFC 768; VXLAN outer headers use it per RFC 7348) and
+    // verify_checksum accepts it. Anything else must verify over the
+    // pseudo-header, catching payload/header bit-flips that survived the
+    // IPv4 header checksum.
+    const auto datagram = frame.subspan(
+        parsed->l4_payload_offset - net::UdpHeader::kSize,
+        parsed->udp->length);
+    if (!net::UdpHeader::verify_checksum(datagram, parsed->ip.src,
+                                         parsed->ip.dst)) {
+      ++csum_drops_;
+      t_csum_drops_->inc();
+      if (faults_ != nullptr) {
+        faults_->drops.record(fault::DropReason::kChecksum, skb.priority);
+      }
+      account(false);
+      return 0;
+    }
     UdpSocket* sock = ns.sockets().lookup_udp(parsed->udp->dst_port);
     if (sock == nullptr) {
       ++drops_;
       t_no_socket_drops_->inc();
+      if (faults_ != nullptr) {
+        faults_->drops.record(fault::DropReason::kNoSocket, skb.priority);
+      }
       account(false);
       return 0;
     }
+#if PRISM_FAULTS_ENABLED
+    if (faults_ != nullptr && faults_->plan.buf_alloc_fails()) {
+      // Injected BufferPool starvation at the socket-buffer copy: the
+      // kernel's sk_rmem allocation failure, dropped before any datagram
+      // state exists.
+      faults_->drops.record(fault::DropReason::kAllocFail, skb.priority);
+      account(false);
+      return 0;
+    }
+#endif
     Datagram d;
     d.src_ip = parsed->ip.src;
     d.src_port = parsed->udp->src_port;
@@ -84,10 +119,26 @@ sim::Duration SocketDeliverer::deliver_frame(
     return 0;
   }
   if (parsed->tcp) {
+    const auto segment = frame.subspan(
+        parsed->l4_payload_offset - net::TcpHeader::kSize,
+        net::TcpHeader::kSize + parsed->l4_payload.size());
+    if (!net::TcpHeader::verify_checksum(segment, parsed->ip.src,
+                                         parsed->ip.dst)) {
+      ++csum_drops_;
+      t_csum_drops_->inc();
+      if (faults_ != nullptr) {
+        faults_->drops.record(fault::DropReason::kChecksum, skb.priority);
+      }
+      account(false);
+      return 0;
+    }
     TcpEndpoint* ep = ns.sockets().lookup_tcp(net::flow_of(*parsed));
     if (ep == nullptr) {
       ++drops_;
       t_no_socket_drops_->inc();
+      if (faults_ != nullptr) {
+        faults_->drops.record(fault::DropReason::kNoSocket, skb.priority);
+      }
       account(false);
       return 0;
     }
@@ -99,6 +150,9 @@ sim::Duration SocketDeliverer::deliver_frame(
   }
   ++drops_;
   t_no_socket_drops_->inc();
+  if (faults_ != nullptr) {
+    faults_->drops.record(fault::DropReason::kNoSocket, skb.priority);
+  }
   account(false);
   return 0;
 }

@@ -23,6 +23,10 @@ class LatencyLedger;
 class FlowTable;
 }
 
+namespace prism::fault {
+struct FaultLayer;
+}
+
 namespace prism::kernel {
 
 /// Routes delivered skbs (including GRO chains) into sockets.
@@ -53,12 +57,19 @@ class SocketDeliverer {
   sim::Duration deliver(Skb& skb, sim::Time at, overlay::Netns& ns);
 
   std::uint64_t no_socket_drops() const noexcept { return drops_; }
+  /// Frames rejected by receive-side L4 checksum verification.
+  std::uint64_t csum_drops() const noexcept { return csum_drops_; }
   std::uint64_t delivered() const noexcept { return delivered_; }
+
+  /// Attaches the host's fault layer (drop attribution + buffer
+  /// alloc-failure injection). nullptr detaches.
+  void set_faults(fault::FaultLayer* faults) noexcept { faults_ = faults; }
 
   /// Registers delivery counters under `prefix` (e.g. "sockets.").
   void bind_telemetry(telemetry::Registry& reg, const std::string& prefix) {
     t_delivered_ = &reg.counter(prefix + "delivered");
     t_no_socket_drops_ = &reg.counter(prefix + "no_socket_drops");
+    t_csum_drops_ = &reg.counter(prefix + "csum_drops");
   }
 
  private:
@@ -75,10 +86,13 @@ class SocketDeliverer {
   trace::PacketTrace* trace_ = nullptr;
   telemetry::LatencyLedger* ledger_ = nullptr;
   telemetry::FlowTable* flows_ = nullptr;
+  fault::FaultLayer* faults_ = nullptr;
   std::uint64_t drops_ = 0;
+  std::uint64_t csum_drops_ = 0;
   std::uint64_t delivered_ = 0;
   telemetry::Counter* t_delivered_ = &telemetry::Counter::sink();
   telemetry::Counter* t_no_socket_drops_ = &telemetry::Counter::sink();
+  telemetry::Counter* t_csum_drops_ = &telemetry::Counter::sink();
 };
 
 }  // namespace prism::kernel

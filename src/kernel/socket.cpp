@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "fault/fault.h"
 #include "telemetry/latency.h"
 
 namespace prism::kernel {
@@ -30,6 +31,11 @@ void UdpSocket::enqueue(Datagram d, sim::Time at) {
     if (queue_.size() >= capacity_) {
       ++dropped_;
       t_dropped_->inc();
+      if (faults_ != nullptr) {
+        faults_->drops.record(fault::DropReason::kRcvbufFull, d.priority);
+      }
+      // Returning destroys the datagram, recycling its payload storage
+      // through the BufferPool.
       return;
     }
     ++received_;

@@ -24,6 +24,10 @@ namespace prism::telemetry {
 class LatencyLedger;
 }
 
+namespace prism::fault {
+struct FaultLayer;
+}
+
 namespace prism::kernel {
 
 class TcpEndpoint;
@@ -97,12 +101,17 @@ class UdpSocket {
     ledger_ = ledger;
   }
 
+  /// Attaches the host's fault layer: rcvbuf-overflow drops are
+  /// attributed to the drop ledger. nullptr detaches.
+  void set_faults(fault::FaultLayer* faults) noexcept { faults_ = faults; }
+
  private:
   sim::Simulator& sim_;
   std::uint16_t port_;
   std::size_t capacity_;
   std::deque<Datagram> queue_;
   std::function<void()> on_readable_;
+  fault::FaultLayer* faults_ = nullptr;
   std::uint64_t received_ = 0;
   std::uint64_t dropped_ = 0;
   telemetry::Counter* t_enqueued_ = &telemetry::Counter::sink();

@@ -12,8 +12,13 @@ sim::Duration BacklogStage::process_one(SkbPtr skb, sim::Time at,
   skb->ts.stage3_start = at;
   skb->ts.stage3_done = at + cost;
   if (skb->dst_netns == nullptr) {
+    // No destination namespace (skb injected past the bridge without
+    // routing): drop and recycle rather than dereferencing null.
     ++dropped_;
     t_dropped_->inc();
+    if (faults_ != nullptr) {
+      faults_->drops.record(fault::DropReason::kNullNetns, skb->priority);
+    }
     return cost;
   }
   ++delivered_;

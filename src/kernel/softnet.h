@@ -42,9 +42,14 @@ class BacklogStage final : public PacketStage {
     t_dropped_ = &reg.counter(prefix + "dropped");
   }
 
+  /// Attaches the host's fault layer: null-netns drops are attributed to
+  /// the drop ledger. nullptr detaches.
+  void set_faults(fault::FaultLayer* faults) noexcept { faults_ = faults; }
+
  private:
   std::string name_;
   const CostModel& cost_;
+  fault::FaultLayer* faults_ = nullptr;
   SocketDeliverer& deliverer_;
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;

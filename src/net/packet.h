@@ -68,6 +68,18 @@ class PacketBuf {
     return {data_.data() + offset_, data_.size() - offset_};
   }
 
+  /// Mutable view of the packet bytes, for in-place rewriting (fault
+  /// injection bit-flips). Does not change the packet's length.
+  std::span<std::uint8_t> mutable_bytes() noexcept {
+    return {data_.data() + offset_, data_.size() - offset_};
+  }
+
+  /// Truncates the packet to its first `n` bytes (tail cut, as a link that
+  /// clipped the frame would). No-op when n >= size().
+  void truncate(std::size_t n) noexcept {
+    if (n < size()) data_.resize(offset_ + n);
+  }
+
   std::size_t size() const noexcept { return data_.size() - offset_; }
   bool empty() const noexcept { return size() == 0; }
 

@@ -34,9 +34,19 @@ void RxQueue::bind_telemetry(telemetry::Registry& reg,
 }
 
 void RxQueue::push(net::PacketBuf frame) {
-  if (ring_.size() >= capacity_) {
+  bool full = ring_.size() >= capacity_;
+#if PRISM_FAULTS_ENABLED
+  if (!full && faults_ != nullptr && faults_->plan.force_ring_full()) {
+    full = true;
+  }
+#endif
+  if (full) {
     ++dropped_;
     t_ring_drops_->inc();
+    if (faults_ != nullptr) {
+      faults_->drops.record_frame(fault::DropReason::kRingFull,
+                                  frame.bytes());
+    }
     return;
   }
   ring_.push_back(Entry{std::move(frame), sim_.now()});
@@ -90,7 +100,25 @@ void RxQueue::fire_irq() {
   timer_armed_ = false;
   ++irqs_;
   t_irqs_->inc();
-  if (irq_handler_) irq_handler_();
+  if (!irq_handler_) return;
+#if PRISM_FAULTS_ENABLED
+  if (faults_ != nullptr && faults_->plan.active()) {
+    const sim::Duration delay = faults_->plan.irq_fire_delay();
+    const int extra = faults_->plan.irq_storm_extra_fires();
+    if (delay > 0 || extra > 0) {
+      // Delayed and/or spurious handler invocations. The extra fires hit
+      // a masked line (irq_enabled_ is already false), exercising the
+      // NAPI schedule path's idempotence the way a stuck INTx line would.
+      for (int i = 0; i <= extra; ++i) {
+        sim_.schedule(delay + i, [this] {
+          if (irq_handler_) irq_handler_();
+        });
+      }
+      return;
+    }
+  }
+#endif
+  irq_handler_();
 }
 
 Nic::Nic(sim::Simulator& sim, int num_queues, std::size_t ring_capacity,
@@ -125,7 +153,40 @@ void Nic::transmit(net::PacketBuf frame) {
   wire_->transmit_from(*this, std::move(frame));
 }
 
+void Nic::set_faults(fault::FaultLayer* faults) noexcept {
+  faults_ = faults;
+  for (auto& q : queues_) q->set_faults(faults);
+}
+
 void Nic::receive(net::PacketBuf frame) {
+#if PRISM_FAULTS_ENABLED
+  if (faults_ != nullptr && faults_->plan.active()) {
+    const auto act = faults_->plan.on_wire_frame(frame);
+    if (act.drop) {
+      // Lost on the wire: the NIC never saw it. The frame's storage
+      // recycles to the BufferPool on destruction.
+      faults_->drops.record_frame(fault::DropReason::kWire, frame.bytes());
+      return;
+    }
+    if (act.duplicate) {
+      // The duplicate counts on the injected side of the conservation
+      // equation, attributed to the frame's priority class.
+      faults_->plan.count_duplicate(faults_->drops.classify(frame.bytes()));
+      deliver_to_ring(net::PacketBuf(frame));
+    }
+    if (act.reorder_delay > 0) {
+      sim_.schedule(act.reorder_delay,
+                    [this, f = std::move(frame)]() mutable {
+                      deliver_to_ring(std::move(f));
+                    });
+      return;
+    }
+  }
+#endif
+  deliver_to_ring(std::move(frame));
+}
+
+void Nic::deliver_to_ring(net::PacketBuf frame) {
   ++rx_frames_;
   t_rx_->inc();
   const int q = rss_hash(frame.bytes());

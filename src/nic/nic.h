@@ -20,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "fault/fault.h"
 #include "net/packet.h"
 #include "sim/simulator.h"
 #include "telemetry/metrics.h"
@@ -81,6 +82,11 @@ class RxQueue {
   /// Registers this queue's counters under `prefix` (e.g. "nic.q0.").
   void bind_telemetry(telemetry::Registry& reg, const std::string& prefix);
 
+  /// Attaches the host's fault layer: ring drops are attributed to the
+  /// drop ledger, and the plan may force ring-full episodes and IRQ
+  /// storms/delays. nullptr detaches.
+  void set_faults(fault::FaultLayer* faults) noexcept { faults_ = faults; }
+
  private:
   void maybe_fire();
   void fire_irq();
@@ -88,6 +94,7 @@ class RxQueue {
   sim::Simulator& sim_;
   std::size_t capacity_;
   CoalesceConfig coalesce_;
+  fault::FaultLayer* faults_ = nullptr;
   std::deque<Entry> ring_;
   std::function<void()> irq_handler_;
   bool irq_enabled_ = true;
@@ -139,11 +146,20 @@ class Nic {
   /// counters under `prefix` + "q<i>.".
   void bind_telemetry(telemetry::Registry& reg, const std::string& prefix);
 
+  /// Attaches the host's fault layer to the receive path (wire-level
+  /// drop/corrupt/truncate/duplicate/reorder) and to every RX queue.
+  /// nullptr detaches.
+  void set_faults(fault::FaultLayer* faults) noexcept;
+
  private:
   int rss_hash(std::span<const std::uint8_t> frame) const;
 
+  /// Post-wire delivery: counts the frame and DMAs it into its RSS ring.
+  void deliver_to_ring(net::PacketBuf frame);
+
   sim::Simulator& sim_;
   std::vector<std::unique_ptr<RxQueue>> queues_;
+  fault::FaultLayer* faults_ = nullptr;
   Wire* wire_ = nullptr;
   std::uint64_t tx_frames_ = 0;
   std::uint64_t rx_frames_ = 0;

@@ -24,9 +24,12 @@ sim::Duration BridgeStage::process_one(kernel::SkbPtr skb, sim::Time at,
   if (dst == nullptr) {
     // Unknown destination: a real bridge would flood; with static FDB
     // entries for every container a miss is a wiring error — drop and
-    // count so tests catch it.
+    // count so tests catch it. The skb recycles on return.
     ++dropped_;
     t_fdb_drops_->inc();
+    if (faults_ != nullptr) {
+      faults_->drops.record(fault::DropReason::kFdbMiss, skb->priority);
+    }
     return cost;
   }
   ++forwarded_;
@@ -55,13 +58,16 @@ sim::Duration BridgeStage::process_one(kernel::SkbPtr skb, sim::Time at,
       ++rps_steered_;
       t_rps_steered_->inc();
       cost += cost_.rps_steer_cost;
-      // The packet becomes visible on the target CPU one IPI later.
-      sim_->schedule_at(
-          at + cost + cost_.ipi_latency,
-          [this, target, skb = skb.release()]() mutable {
-            target.transition->transit(kernel::SkbPtr(skb), sim_->now(),
-                                       *target.backlog);
-          });
+      // The packet becomes visible on the target CPU one IPI later. The
+      // skb is move-captured (InlineFn supports move-only callables): if
+      // the simulation ends before the IPI event runs, the skb recycles
+      // with the event queue instead of leaking.
+      sim_->schedule_at(at + cost + cost_.ipi_latency,
+                        [this, target, skb = std::move(skb)]() mutable {
+                          target.transition->transit(std::move(skb),
+                                                     sim_->now(),
+                                                     *target.backlog);
+                        });
       return cost;
     }
   }

@@ -65,9 +65,14 @@ class BridgeStage final : public kernel::PacketStage {
     t_rps_steered_ = &reg.counter(prefix + "rps_steered");
   }
 
+  /// Attaches the host's fault layer: FDB-miss drops are attributed to
+  /// the drop ledger. nullptr detaches.
+  void set_faults(fault::FaultLayer* faults) noexcept { faults_ = faults; }
+
  private:
   std::string name_;
   const kernel::CostModel& cost_;
+  fault::FaultLayer* faults_ = nullptr;
   Fdb& fdb_;
   kernel::StageTransition& transition_;
   kernel::QueueNapi& backlog_;

@@ -104,7 +104,9 @@ double Histogram::stddev() const noexcept {
 
 std::int64_t Histogram::percentile(double q) const noexcept {
   if (count_ == 0) return 0;
-  if (q < 0.0) q = 0.0;
+  // !(q >= 0) also catches NaN, which would slip through both ordered
+  // comparisons and turn ceil(NaN * count) into an undefined uint64 cast.
+  if (!(q >= 0.0)) q = 0.0;
   if (q > 1.0) q = 1.0;
   // Rank of the target observation (1-based), rounding up so that
   // percentile(0) == first observation's bucket.

@@ -113,6 +113,15 @@ void LatencyLedger::record_socket_wait(sim::Duration d, int level) {
 #endif
 }
 
+void LatencyLedger::record_dropped(int level) {
+#if PRISM_TELEMETRY_ENABLED
+  if (!enabled_) return;
+  ++dropped_[static_cast<std::size_t>(clamp_level(level))];
+#else
+  (void)level;
+#endif
+}
+
 void LatencyLedger::window_record(sim::Time at, int level,
                                   sim::Duration e2e) {
   const std::int64_t w = at / interval_;
@@ -165,6 +174,7 @@ LatencyBreakdown LatencyLedger::snapshot() const {
   b.windows_evicted = evicted_;
   b.window_late_drops = late_;
   b.unattributed = unattributed_;
+  b.dropped_in_flight = dropped_in_flight();
   for (int s = 0; s < kNumLatencyStages; ++s) {
     for (int c = 0; c < kNumLatencyClasses; ++c) {
       const auto& h = histogram(static_cast<LatencyStage>(s), c);
@@ -221,6 +231,7 @@ void LatencyLedger::reset() {
   unattributed_ = 0;
   evicted_ = 0;
   late_ = 0;
+  dropped_.fill(0);
 }
 
 void write_latency_json(JsonWriter& w, const LatencyLedger& ledger) {
@@ -228,6 +239,7 @@ void write_latency_json(JsonWriter& w, const LatencyLedger& ledger) {
   w.begin_object();
   w.member("enabled", b.enabled);
   w.member("unattributed", b.unattributed);
+  w.member("dropped_in_flight", b.dropped_in_flight);
   w.key("stages").begin_array();
   for (const auto& r : b.stages) {
     w.begin_object();

@@ -94,6 +94,9 @@ struct LatencyBreakdown {
   std::uint64_t windows_evicted = 0;  ///< windows rotated out of the ring
   std::uint64_t window_late_drops = 0;
   std::uint64_t unattributed = 0;  ///< deliveries without full timestamps
+  /// Packets dropped mid-pipeline: their partial stamps are discarded
+  /// (never recorded as stage durations) and the loss is counted here.
+  std::uint64_t dropped_in_flight = 0;
 };
 
 /// Per-host ledger of stage-resident durations.
@@ -137,6 +140,13 @@ class LatencyLedger {
   /// Records one socket-buffer residence time (enqueue -> recv).
   void record_socket_wait(sim::Duration d, int level);
 
+  /// Records a packet dropped mid-pipeline (ring/backlog/rcvbuf overflow,
+  /// validation failure, alloc failure). The skb's partial timestamps die
+  /// with it — counting the loss here keeps "every packet is either fully
+  /// attributed or counted dropped" true instead of leaking stamps into
+  /// stage histograms that would never reconcile.
+  void record_dropped(int level);
+
   /// Aggregate histogram of one (stage, class) cell.
   const stats::Histogram& histogram(LatencyStage stage, int level) const;
 
@@ -148,6 +158,15 @@ class LatencyLedger {
   std::uint64_t unattributed() const noexcept { return unattributed_; }
   std::uint64_t windows_evicted() const noexcept { return evicted_; }
   std::uint64_t window_late_drops() const noexcept { return late_; }
+  /// Total mid-pipeline drops; per-class via the `level` overload.
+  std::uint64_t dropped_in_flight() const noexcept {
+    std::uint64_t sum = 0;
+    for (const std::uint64_t v : dropped_) sum += v;
+    return sum;
+  }
+  std::uint64_t dropped_in_flight(int level) const noexcept {
+    return dropped_[static_cast<std::size_t>(clamp_level(level))];
+  }
 
   /// Materializes every non-empty cell (and the retained windows).
   LatencyBreakdown snapshot() const;
@@ -185,6 +204,7 @@ class LatencyLedger {
   std::uint64_t unattributed_ = 0;
   std::uint64_t evicted_ = 0;
   std::uint64_t late_ = 0;
+  std::array<std::uint64_t, kNumLatencyClasses> dropped_{};
 };
 
 /// Streams the ledger as JSON (the "prism/latency" proc file):

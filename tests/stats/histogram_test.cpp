@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <vector>
 
 #include "sim/rng.h"
@@ -98,6 +99,57 @@ TEST(HistogramTest, MergeCombines) {
 TEST(HistogramTest, MergeResolutionMismatchThrows) {
   Histogram a(6), b(8);
   EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(HistogramTest, MergeEmptyIsIdentity) {
+  // Merging an empty histogram must not disturb min/max/moments — the
+  // windowed time-series merges many empty per-class cells.
+  Histogram a, empty;
+  a.record(100);
+  a.record(300);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 100);
+  EXPECT_EQ(a.max(), 300);
+  EXPECT_DOUBLE_EQ(a.mean(), 200.0);
+
+  // Empty absorbing non-empty adopts its extrema instead of keeping the
+  // zero-initialized min.
+  Histogram b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.min(), 100);
+  EXPECT_EQ(b.max(), 300);
+
+  // Empty + empty stays well-defined everywhere.
+  Histogram c, d;
+  c.merge(d);
+  EXPECT_EQ(c.count(), 0u);
+  EXPECT_EQ(c.percentile(0.99), 0);
+  EXPECT_DOUBLE_EQ(c.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(c.stddev(), 0.0);
+}
+
+TEST(HistogramTest, PercentileOutOfRangeQuantilesClamp) {
+  Histogram h;
+  h.record(10);
+  h.record(20);
+  h.record(30);
+  EXPECT_EQ(h.percentile(-0.5), h.percentile(0.0));
+  EXPECT_EQ(h.percentile(1.5), h.percentile(1.0));
+}
+
+TEST(HistogramTest, PercentileNaNIsSafeNotUndefined) {
+  // NaN slips through ordered range checks (`q < 0` and `q > 1` are both
+  // false), and ceil(NaN * count) cast to an unsigned is UB. The guard
+  // must treat it as q=0 — on empty and non-empty histograms alike.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Histogram empty;
+  EXPECT_EQ(empty.percentile(nan), 0);
+  Histogram h;
+  h.record(10);
+  h.record(20);
+  EXPECT_EQ(h.percentile(nan), h.percentile(0.0));
 }
 
 TEST(HistogramTest, ResetClears) {

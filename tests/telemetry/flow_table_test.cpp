@@ -107,6 +107,72 @@ TEST(FlowTableTest, RecordFrameDispatchesOnDelivered) {
   EXPECT_EQ(e->drops, 1u);
 }
 
+TEST(FlowTableTest, ExactlyCapacityFlowsNeverEvict) {
+#if !PRISM_TELEMETRY_ENABLED
+  GTEST_SKIP() << "telemetry compiled out";
+#endif
+  FlowTable table(/*capacity=*/8);
+  for (int i = 0; i < 8; ++i) {
+    table.record(tuple(static_cast<std::uint16_t>(i + 1)), 64, 0, 100,
+                 i + 1);
+  }
+  EXPECT_EQ(table.size(), 8u);
+  EXPECT_EQ(table.evictions(), 0u);
+  // Re-touching tracked flows at capacity must not evict either.
+  for (int i = 0; i < 8; ++i) {
+    table.record(tuple(static_cast<std::uint16_t>(i + 1)), 64, 0, 100,
+                 100 + i);
+  }
+  EXPECT_EQ(table.size(), 8u);
+  EXPECT_EQ(table.evictions(), 0u);
+}
+
+TEST(FlowTableTest, CapacityPlusOneEvictsExactlyOne) {
+#if !PRISM_TELEMETRY_ENABLED
+  GTEST_SKIP() << "telemetry compiled out";
+#endif
+  FlowTable table(/*capacity=*/8);
+  for (int i = 0; i < 9; ++i) {
+    table.record(tuple(static_cast<std::uint16_t>(i + 1)), 64, 0, 100,
+                 i + 1);
+  }
+  EXPECT_EQ(table.size(), 8u);
+  EXPECT_EQ(table.evictions(), 1u);
+  EXPECT_EQ(table.lookup(tuple(1)), nullptr);  // oldest went first
+  EXPECT_NE(table.lookup(tuple(2)), nullptr);
+  EXPECT_NE(table.lookup(tuple(9)), nullptr);
+}
+
+TEST(FlowTableTest, AdversarialFloodStaysBoundedAndCountsEveryEviction) {
+#if !PRISM_TELEMETRY_ENABLED
+  GTEST_SKIP() << "telemetry compiled out";
+#endif
+  // Many-flow flood: every packet is a distinct 5-tuple, the LRU's worst
+  // case. The table must stay at capacity, count one eviction per excess
+  // flow, and keep exactly the most recent `capacity` flows.
+  constexpr std::size_t kCapacity = 16;
+  constexpr int kFlood = 1000;
+  FlowTable table(kCapacity);
+  for (int i = 0; i < kFlood; ++i) {
+    table.record(tuple(static_cast<std::uint16_t>(i + 1)), 64, i % 4, 100,
+                 i + 1);
+  }
+  EXPECT_EQ(table.size(), kCapacity);
+  EXPECT_EQ(table.evictions(), kFlood - kCapacity);
+  for (int i = kFlood - static_cast<int>(kCapacity); i < kFlood; ++i) {
+    EXPECT_NE(table.lookup(tuple(static_cast<std::uint16_t>(i + 1))),
+              nullptr)
+        << "recent flow " << i + 1 << " missing";
+  }
+  EXPECT_EQ(table.lookup(tuple(1)), nullptr);
+  // A victim's flow returning after eviction starts from scratch.
+  table.record(tuple(1), 64, 0, 100, kFlood + 1);
+  const auto* back = table.lookup(tuple(1));
+  ASSERT_NE(back, nullptr);
+  EXPECT_EQ(back->packets, 1u);
+  EXPECT_EQ(back->first_seen, kFlood + 1);
+}
+
 TEST(FlowTableTest, DisabledTableRecordsNothing) {
 #if !PRISM_TELEMETRY_ENABLED
   GTEST_SKIP() << "telemetry compiled out";

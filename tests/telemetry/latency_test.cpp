@@ -216,6 +216,33 @@ TEST(LatencyLedgerTest, MergedWindowsFiltersByClass) {
   EXPECT_EQ(ledger.merged_windows().count(), 3u);
 }
 
+TEST(LatencyLedgerTest, DroppedInFlightCountsPerClass) {
+#if !PRISM_TELEMETRY_ENABLED
+  GTEST_SKIP() << "telemetry compiled out";
+#endif
+  LatencyLedger ledger;
+  ledger.record_dropped(0);
+  ledger.record_dropped(1);
+  ledger.record_dropped(1);
+  ledger.record_dropped(-5);   // clamps into class 0
+  ledger.record_dropped(999);  // clamps into the top class
+  EXPECT_EQ(ledger.dropped_in_flight(0), 2u);
+  EXPECT_EQ(ledger.dropped_in_flight(1), 2u);
+  EXPECT_EQ(ledger.dropped_in_flight(), 5u);
+  // Drops never pollute the stage histograms.
+  EXPECT_EQ(ledger.histogram(LatencyStage::kEndToEnd, 0).count(), 0u);
+  EXPECT_EQ(ledger.merged_windows().count(), 0u);
+
+  const auto b = ledger.snapshot();
+  EXPECT_EQ(b.dropped_in_flight, 5u);
+  const std::string json = latency_json(ledger);
+  EXPECT_NE(json.find("\"dropped_in_flight\""), std::string::npos);
+
+  ledger.reset();
+  EXPECT_EQ(ledger.dropped_in_flight(), 0u);
+  EXPECT_EQ(ledger.dropped_in_flight(1), 0u);
+}
+
 TEST(LatencyLedgerTest, ResetClearsDataKeepsConfig) {
 #if !PRISM_TELEMETRY_ENABLED
   GTEST_SKIP() << "telemetry compiled out";
