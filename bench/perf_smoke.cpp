@@ -309,6 +309,10 @@ int main(int argc, char** argv) {
   w.member("target_fraction", kTelemetryOverheadTarget);
   w.member("within_target", telem_overhead <= kTelemetryOverheadTarget);
   w.end_object();
+  w.key("overload");
+  w.begin_object();
+  w.member("compiled_in", static_cast<bool>(PRISM_OVERLOAD_ENABLED));
+  w.end_object();
   w.member("peak_rss_bytes", rss);
   w.key("pools");
   w.begin_array();

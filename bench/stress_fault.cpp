@@ -10,9 +10,15 @@
 // bits were destroyed can only be attributed to class 0). Each scenario
 // also checks that pool storage returns to baseline — no drop path leaks.
 //
+// The resource and mixed groups (the ones forcing ring-full/backlog-full
+// episodes) run their sends compressed into an overload burst and assert
+// recovery: every overload entry the episode provoked is matched by an
+// exit (exits are only taken with the backlog back below the low
+// watermark) and the governor ends the run in the normal state.
+//
 // A determinism pass re-runs one mixed scenario with the same seed (twice
 // pooled, once with pools disabled) and requires bit-identical
-// prism/faults snapshots.
+// prism/faults and prism/overload snapshots.
 //
 // Usage: stress_fault [seed]   (default seed 1; CI sweeps several)
 // Exit status is non-zero if any invariant fails — registered with ctest
@@ -65,15 +71,29 @@ struct RunResult {
   fault::FaultCounters counters;
   std::array<std::uint64_t, fault::kNumDropReasons> reason_totals{};
   std::uint64_t total_drops = 0;
+  std::uint64_t ov_entries = 0;
+  std::uint64_t ov_exits = 0;
+  kernel::OverloadGovernor::State ov_state =
+      kernel::OverloadGovernor::State::kNormal;
   std::string json;
+  std::string overload_json;
 };
 
 /// One overlay scenario: three containers-to-container UDP streams, one
-/// per priority class, pushed through a server armed with `fc`.
-RunResult run_scenario(const fault::FaultConfig& fc) {
+/// per priority class, pushed through a server armed with `fc`. With
+/// `episode` the sends are compressed well past pipeline capacity so the
+/// forced ring/backlog-full faults land during a genuine overload
+/// episode the governor must enter and recover from.
+RunResult run_scenario(const fault::FaultConfig& fc, bool episode = false) {
   harness::TestbedConfig cfg;
   cfg.mode = kernel::NapiMode::kPrismBatch;
   cfg.server_faults = fc;
+  if (episode) {
+    // The 900-packet burst spans ~3 full-budget softirq invocations;
+    // enter on a 2-squeeze streak so the episode reliably trips the
+    // governor (the default streak of 8 needs a longer soak).
+    cfg.server_overload.squeeze_enter_streak = 2;
+  }
   harness::Testbed tb(cfg);
   auto& c1 = tb.add_client_container("c1");
   auto& c2 = tb.add_server_container("c2");
@@ -83,11 +103,19 @@ RunResult run_scenario(const fault::FaultConfig& fc) {
   tb.server().priority_db().add(c2.ip(), 7001, 1);
   tb.server().priority_db().add(c2.ip(), 7002, 2);
 
+  // Episode runs compress the schedule to ~1 Mpps and fan the sends
+  // across every client TX CPU — a single client CPU's per-packet TX
+  // cost would pace the burst below the server's capacity.
+  const sim::Time spacing = episode ? 1'000 : 4'000;  // 1 Mpps vs 250 kpps
+  const int tx_cpus = episode ? tb.client().num_cpus() - 1 : 1;
   for (std::uint64_t i = 0; i < kPerClass; ++i) {
     for (int cls = 0; cls < kClasses; ++cls) {
+      const std::uint64_t n = i * kClasses + static_cast<std::uint64_t>(cls);
+      const int cpu = 1 + static_cast<int>(n % static_cast<std::uint64_t>(
+                                                   tx_cpus));
       tb.sim().schedule_at(
-          static_cast<sim::Time>(i * kClasses + cls) * 4'000, [&, cls] {
-            tb.client().udp_send(c1, tb.client().cpu(1), 4444, c2.ip(),
+          static_cast<sim::Time>(n) * spacing, [&, cls, cpu] {
+            tb.client().udp_send(c1, tb.client().cpu(cpu), 4444, c2.ip(),
                                  static_cast<std::uint16_t>(7000 + cls),
                                  std::vector<std::uint8_t>(64, 0x11));
           });
@@ -108,7 +136,11 @@ RunResult run_scenario(const fault::FaultConfig& fc) {
         layer.drops.total(static_cast<fault::DropReason>(reason));
   }
   r.total_drops = layer.drops.total_drops();
+  r.ov_entries = tb.server().governor().entries();
+  r.ov_exits = tb.server().governor().exits();
+  r.ov_state = tb.server().governor().state();
   r.json = tb.server().proc().read("prism/faults");
+  r.overload_json = tb.server().proc().read("prism/overload");
   return r;
 }
 
@@ -127,25 +159,26 @@ std::string reason_breakdown(const RunResult& r) {
 struct FaultGroup {
   const char* name;
   bool per_class;  ///< conservation holds per class (else total only)
+  bool episode;    ///< burst past capacity: forced overload episode
   void (*apply)(fault::FaultConfig&, double rate);
 };
 
 const FaultGroup kGroups[] = {
-    {"loss", true,
+    {"loss", true, false,
      [](fault::FaultConfig& c, double r) { c.wire_drop_rate = r; }},
-    {"payload-corrupt", true,
+    {"payload-corrupt", true, false,
      [](fault::FaultConfig& c, double r) {
        c.wire_corrupt_rate = r;
        c.decap_corrupt_rate = r;
      }},
-    {"resource", true,
+    {"resource", true, true,
      [](fault::FaultConfig& c, double r) {
        c.ring_full_rate = r;
        c.backlog_full_rate = r;
        c.skb_alloc_fail_rate = r;
        c.buf_alloc_fail_rate = r;
      }},
-    {"mixed", true,
+    {"mixed", true, true,
      [](fault::FaultConfig& c, double r) {
        c.wire_drop_rate = r;
        c.wire_corrupt_rate = r;
@@ -157,7 +190,7 @@ const FaultGroup kGroups[] = {
        c.skb_alloc_fail_rate = r / 2;
        c.buf_alloc_fail_rate = r / 2;
      }},
-    {"header-corrupt", false,
+    {"header-corrupt", false, false,
      [](fault::FaultConfig& c, double r) {
        c.wire_corrupt_rate = r;
        c.wire_truncate_rate = r;
@@ -175,7 +208,7 @@ void sweep(std::uint64_t seed) {
       group.apply(fc, rate);
 
       const PoolBaseline before = PoolBaseline::capture();
-      const RunResult r = run_scenario(fc);
+      const RunResult r = run_scenario(fc, group.episode);
       const PoolBaseline after = PoolBaseline::capture();
 
       const std::string tag = std::string(group.name) + " @ " +
@@ -208,6 +241,24 @@ void sweep(std::uint64_t seed) {
             tag + ": total conservation " + std::to_string(injected_total) +
                 " != " + std::to_string(delivered + r.total_drops));
 
+      // Recovery: whatever overload the scenario provoked must have
+      // unwound by the end of the run — an exit is only taken with the
+      // backlog back below the low watermark.
+      check(r.ov_entries == r.ov_exits,
+            tag + ": overload entries " + std::to_string(r.ov_entries) +
+                " != exits " + std::to_string(r.ov_exits));
+      check(r.ov_state == kernel::OverloadGovernor::State::kNormal,
+            tag + ": governor did not recover to normal");
+#if PRISM_OVERLOAD_ENABLED
+      // At 50% forced-fault rates half the burst dies at the injection
+      // points and the surviving load no longer exceeds capacity, so
+      // only the lower rates are required to provoke an episode.
+      if (group.episode && rate < 0.5) {
+        check(r.ov_entries >= 1,
+              tag + ": burst episode never entered overload");
+      }
+#endif
+
       table.add_row({group.name, pct(rate), std::to_string(kPerClass * kClasses),
                      std::to_string(duplicates), std::to_string(delivered),
                      std::to_string(r.total_drops), reason_breakdown(r)});
@@ -225,7 +276,8 @@ void determinism(std::uint64_t seed) {
   const auto run = [&fc](bool pools) {
     kernel::SkbPool::instance().set_enabled(pools);
     sim::BufferPool::instance().set_enabled(pools);
-    return run_scenario(fc).json;
+    const RunResult r = run_scenario(fc, /*episode=*/true);
+    return r.json + r.overload_json;
   };
   const std::string pooled_a = run(true);
   const std::string pooled_b = run(true);

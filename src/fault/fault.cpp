@@ -29,6 +29,10 @@ const char* drop_reason_name(DropReason r) noexcept {
       return "no_socket";
     case DropReason::kRcvbufFull:
       return "rcvbuf_full";
+    case DropReason::kFlowLimit:
+      return "flow_limit";
+    case DropReason::kOverloadShed:
+      return "overload_shed";
     case DropReason::kCount:
       break;
   }

@@ -60,6 +60,8 @@ enum class DropReason : int {
   kChecksum,     // L4 checksum verification failed at socket delivery
   kNoSocket,     // no bound socket for the destination port
   kRcvbufFull,   // socket receive queue at capacity
+  kFlowLimit,    // backlog admission: dominant flow on a congested queue
+  kOverloadShed, // backlog admission: low-priority shed inside headroom
   kCount
 };
 

@@ -30,6 +30,8 @@ kernel::HostConfig server_config(const TestbedConfig& cfg) {
   h.nic_ring_capacity = cfg.nic_ring_capacity;
   h.coalesce = cfg.coalesce;
   h.faults = cfg.server_faults;
+  h.netdev_max_backlog = cfg.server_netdev_max_backlog;
+  h.overload = cfg.server_overload;
   return h;
 }
 

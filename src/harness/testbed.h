@@ -39,6 +39,13 @@ struct TestbedConfig {
   /// for; stress scenarios that need client-side faults can call
   /// client().configure_faults() directly.
   fault::FaultConfig server_faults;
+  /// Server-side backlog limit (netdev_max_backlog; soak scenarios lower
+  /// it so watermarks are reachable at simulated rates). The client keeps
+  /// the kernel default.
+  std::size_t server_netdev_max_backlog = 1000;
+  /// Overload control on the server under test (watermarks, flow_limit,
+  /// watchdog; kernel/overload.h).
+  kernel::OverloadConfig server_overload;
 };
 
 /// Two hosts, a wire, and one overlay network.

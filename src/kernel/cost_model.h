@@ -108,6 +108,10 @@ struct CostModel {
   int napi_batch_size = 64;
   /// Max packets processed per net_rx_action invocation.
   int napi_budget = 300;
+  /// Max simulated time one net_rx_action invocation may run (the
+  /// kernel's netdev_budget_usecs, default 2 ms). Hitting either budget
+  /// with work remaining counts one time_squeeze, as in the kernel.
+  sim::Duration netdev_budget_usecs = sim::microseconds(2000);
 
   /// Cost of copying `bytes` across the kernel/user boundary.
   sim::Duration copy_cost(std::size_t bytes) const {

@@ -77,6 +77,38 @@ Host::Host(sim::Simulator& sim, HostConfig config)
   nic_->set_faults(&faults_);
   deliverer_->set_faults(&faults_);
 
+  // Overload governor: one per host, fed by every engine's softirq loop,
+  // the NIC IRQ lines, the backlog admissions, and the socket deliverer.
+  governor_ = std::make_unique<OverloadGovernor>(sim_, cfg_.overload,
+                                                 cfg_.netdev_max_backlog);
+  governor_->bind_telemetry(telemetry_.registry, "overload.");
+  governor_->set_depth_probe([this] {
+    std::size_t deepest = 0;
+    for (const auto& pc : per_cpu_) {
+      deepest = std::max(deepest, pc->backlog->pending_total());
+    }
+    return deepest;
+  });
+  governor_->set_moderation_hook([this](bool overloaded) {
+    // Graceful degradation at the source: declared overload stretches the
+    // NIC's interrupt spacing so batches deepen and the IRQ rate falls;
+    // recovery restores the configured moderation.
+    for (int q = 0; q < cfg_.nic_queues; ++q) {
+      nic::CoalesceConfig c = cfg_.coalesce;
+      if (overloaded) {
+        c.usecs = c.usecs > 0
+                      ? static_cast<sim::Duration>(
+                            static_cast<double>(c.usecs) *
+                            cfg_.overload.moderation_stretch)
+                      : cfg_.overload.moderation_floor;
+      }
+      nic_->queue(q).set_coalesce(c);
+    }
+  });
+#if PRISM_OVERLOAD_ENABLED
+  deliverer_->set_governor(governor_.get());
+#endif
+
   // Per-CPU softirq machinery.
   for (int i = 0; i < cfg_.num_cpus; ++i) {
     auto pc = std::make_unique<PerCpu>();
@@ -97,6 +129,15 @@ Host::Host(sim::Simulator& sim, HostConfig config)
                                       cpu_prefix + "veth.");
     pc->backlog->set_faults(&faults_);
     pc->backlog_stage->set_faults(&faults_);
+    pc->backlog->queue_limit = cfg_.netdev_max_backlog;
+    pc->admission = std::make_unique<BacklogAdmission>(
+        cfg_.overload, cfg_.netdev_max_backlog);
+#if PRISM_OVERLOAD_ENABLED
+    pc->admission->set_governor(governor_.get());
+    pc->backlog->set_admission(pc->admission.get());
+    pc->engine->set_governor(governor_.get());
+    pc->engine->set_ksoftirqd(cfg_.overload.enabled);
+#endif
     per_cpu_.push_back(std::move(pc));
   }
 
@@ -125,6 +166,9 @@ Host::Host(sim::Simulator& sim, HostConfig config)
     NicNapi* napi_ptr = napi.get();
     nic_->queue(q).set_irq_handler([this, cpu_idx, napi_ptr] {
       napi_ptr->note_irq(sim_.now());
+#if PRISM_OVERLOAD_ENABLED
+      governor_->note_irq();
+#endif
       if (tracer_ != nullptr) {
         tracer_->instant(track_base_ + cpu_idx, irq_name_, sim_.now());
       }
@@ -176,6 +220,14 @@ Host::Host(sim::Simulator& sim, HostConfig config)
   });
   proc_->register_file("prism/faults", [this] {
     return fault::faults_json(faults_);
+  });
+  proc_->register_file("prism/overload", [this] {
+    std::vector<const BacklogAdmission*> admissions;
+    admissions.reserve(per_cpu_.size());
+    for (const auto& pc : per_cpu_) {
+      admissions.push_back(pc->admission.get());
+    }
+    return overload_json(*governor_, admissions);
   });
 }
 
@@ -415,6 +467,7 @@ std::vector<telemetry::SoftnetRow> Host::softnet_rows() {
     // without RPS configured.
     row.received_rps = 0;
     row.backlog_len = pc.backlog->pending_total();
+    row.flow_limit = pc.admission->flow_limit_count();
     rows.push_back(row);
   }
   return rows;

@@ -21,6 +21,7 @@
 #include "kernel/napi.h"
 #include "kernel/net_rx_engine.h"
 #include "kernel/nic_napi.h"
+#include "kernel/overload.h"
 #include "kernel/protocol.h"
 #include "kernel/socket.h"
 #include "kernel/softnet.h"
@@ -63,6 +64,12 @@ struct HostConfig {
   /// Fault injection (default: all rates zero, i.e. inactive). The drop
   /// ledger accounts natural drops even when no fault is armed.
   fault::FaultConfig faults;
+  /// Per-queue backlog limit (the kernel's netdev_max_backlog sysctl,
+  /// default 1000). Applied to every per-CPU backlog napi.
+  std::size_t netdev_max_backlog = 1000;
+  /// Overload control: flow_limit admission, watermarks, watchdog,
+  /// ksoftirqd deferral (kernel/overload.h).
+  OverloadConfig overload;
 };
 
 /// One simulated machine.
@@ -98,6 +105,16 @@ class Host {
   /// Re-arms the fault plan (reseeds the RNG, zeroes injection counters).
   void configure_faults(const fault::FaultConfig& cfg) {
     faults_.plan.configure(cfg);
+  }
+
+  // ------------------------------------------------------------- overload
+  /// The host's overload governor (state machine + livelock watchdog;
+  /// proc: "prism/overload").
+  OverloadGovernor& governor() noexcept { return *governor_; }
+  const OverloadGovernor& governor() const noexcept { return *governor_; }
+  /// The admission policy of CPU i's backlog (flow_limit / shed counts).
+  const BacklogAdmission& admission(int i) const {
+    return *per_cpu_[static_cast<std::size_t>(i)]->admission;
   }
 
   // --------------------------------------------------------------- PRISM
@@ -202,6 +219,7 @@ class Host {
     std::unique_ptr<StageTransition> transition;
     std::unique_ptr<BacklogStage> backlog_stage;
     std::unique_ptr<QueueNapi> backlog;
+    std::unique_ptr<BacklogAdmission> admission;
   };
 
   struct BridgeBundle {
@@ -227,6 +245,10 @@ class Host {
   /// registry) and before every pipeline component that holds a pointer
   /// into it, so it outlives them all on teardown.
   fault::FaultLayer faults_;
+  /// Declared before the NIC and the per-CPU machinery: their IRQ
+  /// handlers and engines hold a pointer into it, so it must outlive them
+  /// on teardown.
+  std::unique_ptr<OverloadGovernor> governor_;
   telemetry::SpanTracer* tracer_ = nullptr;
   int track_base_ = 0;
   telemetry::SpanTracer::NameId irq_name_ = 0;

@@ -18,6 +18,10 @@
 #include "sim/time.h"
 #include "telemetry/metrics.h"
 
+#ifndef PRISM_OVERLOAD_ENABLED
+#define PRISM_OVERLOAD_ENABLED 1
+#endif
+
 namespace prism::kernel {
 
 /// Number of packet priority levels. Level 0 is best-effort (vanilla's
@@ -61,6 +65,25 @@ class PacketStage {
   virtual const std::string& name() const = 0;
 };
 
+/// Admission decision for one backlog enqueue (kernel/overload.h
+/// implements this; the interface lives here so NapiStruct can consult it
+/// without an include cycle).
+class AdmissionPolicy {
+ public:
+  enum class Verdict {
+    kAdmit,      ///< enqueue normally
+    kFlowLimit,  ///< shed: dominant flow on a congested queue (flow_limit)
+    kShed,       ///< shed: low-priority packet inside the reserved headroom
+  };
+
+  virtual ~AdmissionPolicy() = default;
+
+  /// Decides the fate of `skb` arriving at priority `level` on a queue
+  /// currently `qlen` deep (all levels) with per-queue limit `limit`.
+  virtual Verdict admit(const Skb& skb, int level, std::size_t qlen,
+                        std::size_t limit) = 0;
+};
+
 /// Result of one napi_poll invocation.
 struct PollOutcome {
   int processed = 0;        ///< packets consumed from the device queue
@@ -101,6 +124,24 @@ class NapiStruct {
   /// false and counts a drop when that queue is full, as netif_rx does.
   bool enqueue(SkbPtr skb, int level) {
     level = clamp_level(level);
+#if PRISM_OVERLOAD_ENABLED
+    if (admission_ != nullptr) {
+      const auto verdict =
+          admission_->admit(*skb, level, pending_total(), queue_limit);
+      if (verdict != AdmissionPolicy::Verdict::kAdmit) {
+        ++(level > 0 ? high_dropped_ : low_dropped_);
+        t_dropped_->inc();
+        if (faults_ != nullptr) {
+          faults_->drops.record(
+              verdict == AdmissionPolicy::Verdict::kFlowLimit
+                  ? fault::DropReason::kFlowLimit
+                  : fault::DropReason::kOverloadShed,
+              level);
+        }
+        return false;
+      }
+    }
+#endif
     auto& q = queues[static_cast<std::size_t>(level)];
     bool full = q.size() >= queue_limit;
 #if PRISM_FAULTS_ENABLED
@@ -128,6 +169,13 @@ class NapiStruct {
   /// drop ledger, and the plan may force backlog-full episodes. nullptr
   /// detaches.
   void set_faults(fault::FaultLayer* faults) noexcept { faults_ = faults; }
+
+  /// Attaches an admission policy consulted before every enqueue (the
+  /// host wires BacklogAdmission to the per-CPU backlog napis). nullptr
+  /// (default) admits everything. Compiled out with -DPRISM_OVERLOAD=OFF.
+  void set_admission(AdmissionPolicy* admission) noexcept {
+    admission_ = admission;
+  }
 
   /// Binds this device's enqueue/drop counters and per-queue depth
   /// watermark under `prefix` (several devices may share a prefix for
@@ -182,6 +230,7 @@ class NapiStruct {
  private:
   std::string name_;
   fault::FaultLayer* faults_ = nullptr;
+  AdmissionPolicy* admission_ = nullptr;
   std::uint64_t low_dropped_ = 0;
   std::uint64_t high_dropped_ = 0;
   telemetry::Counter* t_enqueued_ = &telemetry::Counter::sink();

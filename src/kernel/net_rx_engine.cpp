@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "kernel/overload.h"
+
 namespace prism::kernel {
 
 NetRxEngine::NetRxEngine(sim::Simulator& sim, Cpu& cpu,
@@ -32,6 +34,9 @@ void NetRxEngine::bind_telemetry(telemetry::Registry& reg,
   t_polls_ = &reg.counter(prefix + "polls");
   t_packets_ = &reg.counter(prefix + "packets");
   t_time_squeeze_ = &reg.counter(prefix + "time_squeeze");
+  t_budget_squeeze_ = &reg.counter(prefix + "budget_squeeze");
+  t_time_budget_squeeze_ = &reg.counter(prefix + "time_budget_squeeze");
+  t_ksoftirqd_runs_ = &reg.counter(prefix + "ksoftirqd_runs");
   t_requeues_ = &reg.counter(prefix + "requeues");
   t_head_inserts_ = &reg.counter(prefix + "prism_head_inserts");
 }
@@ -79,9 +84,29 @@ void NetRxEngine::raise_softirq() {
   cpu_.run_softirq([this] { return entry_chunk(); });
 }
 
+void NetRxEngine::schedule_ksoftirqd() {
+  if (ksoftirqd_scheduled_) return;
+  ksoftirqd_scheduled_ = true;
+  ++ksoftirqd_deferrals_;
+  cpu_.run_task_fn([this] { return ksoftirqd_chunk(); });
+}
+
+sim::Duration NetRxEngine::ksoftirqd_chunk() {
+  ksoftirqd_scheduled_ = false;
+  // An IRQ-raised softirq pass ran (or is about to run) since the
+  // deferral: leave the work to it — ksoftirqd only mops up what the
+  // softirq path left behind.
+  if (in_softirq_ || softirq_pending_ || global_list_.empty()) return 0;
+  ksoftirqd_ctx_ = true;
+  ++ksoftirqd_runs_;
+  t_ksoftirqd_runs_->inc();
+  return entry_chunk();
+}
+
 sim::Duration NetRxEngine::entry_chunk() {
   softirq_pending_ = false;
   in_softirq_ = true;
+  softirq_started_ = sim_.now();
   ++softirqs_;
   t_softirqs_->inc();
   budget_ = cost_.napi_budget;
@@ -90,7 +115,13 @@ sim::Duration NetRxEngine::entry_chunk() {
     // is the lock-free handoff whose synchronization delay PRISM removes.
     local_list_.splice(local_list_.end(), global_list_);
   }
-  cpu_.run_softirq([this] { return poll_chunk(); });
+  // A ksoftirqd pass queues its polls at task priority so IRQ top-halves
+  // and freshly raised softirqs preempt it at chunk boundaries.
+  if (ksoftirqd_ctx_) {
+    cpu_.run_task_fn([this] { return poll_chunk(); });
+  } else {
+    cpu_.run_softirq([this] { return poll_chunk(); });
+  }
   if (tracer_ != nullptr) {
     tracer_->span(track_, softirq_span_name_, sim_.now(),
                   cost_.softirq_entry);
@@ -102,7 +133,7 @@ sim::Duration NetRxEngine::poll_chunk() {
   auto& list =
       mode_ == NapiMode::kVanilla ? local_list_ : global_list_;
   if (list.empty()) {
-    finish_softirq();
+    finish_softirq(false);
     return 0;
   }
   NapiStruct* dev = list.front();
@@ -113,6 +144,9 @@ sim::Duration NetRxEngine::poll_chunk() {
   budget_ -= out.processed;
   ++polls_;
   t_polls_->inc();
+#if PRISM_OVERLOAD_ENABLED
+  if (governor_ != nullptr) governor_->note_poll();
+#endif
   packets_ += static_cast<std::uint64_t>(out.processed);
   t_packets_->inc(static_cast<std::uint64_t>(out.processed));
 
@@ -154,22 +188,38 @@ sim::Duration NetRxEngine::poll_chunk() {
   }
 
   auto& cur = mode_ == NapiMode::kVanilla ? local_list_ : global_list_;
-  if (budget_ <= 0 || cur.empty()) {
-    if (budget_ <= 0 && !cur.empty()) {
-      // Work remained but the budget ran out — what softnet_stat's
-      // time_squeeze column counts.
+  const bool budget_out = budget_ <= 0;
+  const bool time_out =
+      sim_.now() + out.cost - softirq_started_ >= cost_.netdev_budget_usecs;
+  if (budget_out || time_out || cur.empty()) {
+    bool squeezed = false;
+    if ((budget_out || time_out) && !cur.empty()) {
+      // Work remained but a budget ran out — what softnet_stat's
+      // time_squeeze column counts (the kernel lumps both causes into
+      // one column; the split is kept for diagnosis).
+      squeezed = true;
       ++time_squeezes_;
       t_time_squeeze_->inc();
+      if (budget_out) {
+        ++budget_squeezes_;
+        t_budget_squeeze_->inc();
+      } else {
+        ++time_budget_squeezes_;
+        t_time_budget_squeeze_->inc();
+      }
     }
-    finish_softirq();
+    finish_softirq(squeezed);
+  } else if (ksoftirqd_ctx_) {
+    cpu_.run_task_fn([this] { return poll_chunk(); });
   } else {
     cpu_.run_softirq([this] { return poll_chunk(); });
   }
   return out.cost;
 }
 
-void NetRxEngine::finish_softirq() {
+void NetRxEngine::finish_softirq(bool squeezed) {
   in_softirq_ = false;
+  ksoftirqd_ctx_ = false;
   if (mode_ == NapiMode::kVanilla) {
     // Fig. 2 lines 21-22: remaining local devices keep precedence — the
     // global list is appended after them, then everything moves back to
@@ -178,7 +228,24 @@ void NetRxEngine::finish_softirq() {
     global_list_ = std::move(local_list_);
     local_list_.clear();
   }
+#if PRISM_OVERLOAD_ENABLED
+  if (governor_ != nullptr) {
+    governor_->note_softirq_end(squeezed, global_list_.size());
+  }
+  if (!global_list_.empty()) {
+    // A squeezed pass defers its remainder to ksoftirqd instead of
+    // re-raising — the kernel's starvation avoidance. A pass that ended
+    // for another reason (device re-armed mid-finish) re-raises.
+    if (squeezed && ksoftirqd_enabled_) {
+      schedule_ksoftirqd();
+    } else {
+      raise_softirq();
+    }
+  }
+#else
+  (void)squeezed;
   if (!global_list_.empty()) raise_softirq();
+#endif
 }
 
 void NetRxEngine::trace_poll(NapiStruct* dev, int processed) {

@@ -22,6 +22,15 @@
 // arrivals, IRQs, and application work interleave with the softirq at
 // batch granularity, exactly the granularity at which the real kernel's
 // state becomes externally visible.
+//
+// Starvation avoidance (ksoftirqd): when an invocation exhausts its
+// packet budget (napi_budget) or its time budget (netdev_budget_usecs)
+// with work remaining, the remainder is NOT re-raised as an immediate
+// softirq. It is handed to a modeled ksoftirqd context that runs at task
+// priority — new IRQ top-halves and freshly raised softirqs preempt it at
+// chunk boundaries — which is how the kernel keeps a saturated receive
+// path from starving userspace. Compiled out with -DPRISM_OVERLOAD=OFF
+// (the engine then re-raises immediately, the pre-overload behaviour).
 #pragma once
 
 #include <cstdint>
@@ -38,6 +47,8 @@
 #include "trace/poll_trace.h"
 
 namespace prism::kernel {
+
+class OverloadGovernor;
 
 /// Per-CPU NET_RX softirq processing engine.
 class NetRxEngine {
@@ -60,11 +71,23 @@ class NetRxEngine {
 
   NapiMode mode() const noexcept { return mode_; }
 
-  /// True when no softirq is pending or running and the lists are empty.
+  /// True when no softirq is pending or running, no ksoftirqd pass is
+  /// queued, and the lists are empty.
   bool idle() const noexcept {
-    return !softirq_pending_ && !in_softirq_ && global_list_.empty() &&
-           local_list_.empty();
+    return !softirq_pending_ && !in_softirq_ && !ksoftirqd_scheduled_ &&
+           global_list_.empty() && local_list_.empty();
   }
+
+  /// Attaches the host's overload governor (poll / squeeze / softirq-end
+  /// notifications). nullptr detaches.
+  void set_governor(OverloadGovernor* governor) noexcept {
+    governor_ = governor;
+  }
+
+  /// Runtime switch for the ksoftirqd deferral; off restores the
+  /// immediate re-raise. (The whole mechanism compiles out with
+  /// -DPRISM_OVERLOAD=OFF regardless of this flag.)
+  void set_ksoftirqd(bool on) noexcept { ksoftirqd_enabled_ = on; }
 
   /// Attaches a poll-order trace collector (may be nullptr to detach).
   void set_poll_trace(trace::PollTrace* trace) noexcept { trace_ = trace; }
@@ -83,8 +106,26 @@ class NetRxEngine {
   std::uint64_t polls() const noexcept { return polls_; }
   std::uint64_t packets_processed() const noexcept { return packets_; }
   /// Softirq returns forced by budget exhaustion with work remaining —
-  /// the kernel's softnet_stat time_squeeze column.
+  /// the kernel's softnet_stat time_squeeze column (packet budget and
+  /// time budget combined, as the kernel counts it).
   std::uint64_t time_squeezes() const noexcept { return time_squeezes_; }
+  /// time_squeezes split by cause: packet budget (napi_budget) hit.
+  std::uint64_t budget_squeezes() const noexcept {
+    return budget_squeezes_;
+  }
+  /// time_squeezes split by cause: time budget (netdev_budget_usecs) hit
+  /// before the packet budget.
+  std::uint64_t time_budget_squeezes() const noexcept {
+    return time_budget_squeezes_;
+  }
+  /// Squeezed invocations whose remainder was handed to ksoftirqd.
+  std::uint64_t ksoftirqd_deferrals() const noexcept {
+    return ksoftirqd_deferrals_;
+  }
+  /// net_rx_action passes actually run in ksoftirqd context.
+  std::uint64_t ksoftirqd_runs() const noexcept { return ksoftirqd_runs_; }
+  /// True while the current softirq pass runs in ksoftirqd context.
+  bool in_ksoftirqd() const noexcept { return ksoftirqd_ctx_; }
   /// Devices put back on the poll list with packets still pending.
   std::uint64_t requeues() const noexcept { return requeues_; }
   /// PRISM head insertions/moves (batch-level preemptions).
@@ -92,9 +133,11 @@ class NetRxEngine {
 
  private:
   void raise_softirq();
+  void schedule_ksoftirqd();
+  sim::Duration ksoftirqd_chunk();
   sim::Duration entry_chunk();
   sim::Duration poll_chunk();
-  void finish_softirq();
+  void finish_softirq(bool squeezed);
   void trace_poll(NapiStruct* dev, int processed);
 
   sim::Simulator& sim_;
@@ -110,6 +153,14 @@ class NetRxEngine {
   bool softirq_pending_ = false;
   bool in_softirq_ = false;
   int budget_ = 0;
+  /// Instant the running net_rx_action pass started (time-budget base).
+  sim::Time softirq_started_ = 0;
+  /// The current pass runs in ksoftirqd (task-priority) context.
+  bool ksoftirqd_ctx_ = false;
+  /// A ksoftirqd pass is queued on the CPU's task queue.
+  bool ksoftirqd_scheduled_ = false;
+  bool ksoftirqd_enabled_ = true;
+  OverloadGovernor* governor_ = nullptr;
 
   trace::PollTrace* trace_ = nullptr;
   std::vector<trace::PollTrace::NameId> trace_scratch_;
@@ -120,12 +171,19 @@ class NetRxEngine {
   std::uint64_t polls_ = 0;
   std::uint64_t packets_ = 0;
   std::uint64_t time_squeezes_ = 0;
+  std::uint64_t budget_squeezes_ = 0;
+  std::uint64_t time_budget_squeezes_ = 0;
+  std::uint64_t ksoftirqd_deferrals_ = 0;
+  std::uint64_t ksoftirqd_runs_ = 0;
   std::uint64_t requeues_ = 0;
   std::uint64_t head_inserts_ = 0;
   telemetry::Counter* t_softirqs_ = &telemetry::Counter::sink();
   telemetry::Counter* t_polls_ = &telemetry::Counter::sink();
   telemetry::Counter* t_packets_ = &telemetry::Counter::sink();
   telemetry::Counter* t_time_squeeze_ = &telemetry::Counter::sink();
+  telemetry::Counter* t_budget_squeeze_ = &telemetry::Counter::sink();
+  telemetry::Counter* t_time_budget_squeeze_ = &telemetry::Counter::sink();
+  telemetry::Counter* t_ksoftirqd_runs_ = &telemetry::Counter::sink();
   telemetry::Counter* t_requeues_ = &telemetry::Counter::sink();
   telemetry::Counter* t_head_inserts_ = &telemetry::Counter::sink();
 };

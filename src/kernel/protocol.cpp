@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fault/fault.h"
+#include "kernel/overload.h"
 #include "kernel/socket.h"
 #include "sim/pool.h"
 #include "kernel/tcp.h"
@@ -115,6 +116,9 @@ sim::Duration SocketDeliverer::deliver_frame(
     sock->enqueue(std::move(d), at);
     ++delivered_;
     t_delivered_->inc();
+#if PRISM_OVERLOAD_ENABLED
+    if (governor_ != nullptr) governor_->note_delivery();
+#endif
     account(true);
     return 0;
   }
@@ -144,6 +148,9 @@ sim::Duration SocketDeliverer::deliver_frame(
     }
     ++delivered_;
     t_delivered_->inc();
+#if PRISM_OVERLOAD_ENABLED
+    if (governor_ != nullptr) governor_->note_delivery();
+#endif
     account(true);
     return ep->handle_segment(*parsed->tcp, parsed->l4_payload, at,
                               final_frame);

@@ -29,6 +29,8 @@ struct FaultLayer;
 
 namespace prism::kernel {
 
+class OverloadGovernor;
+
 /// Routes delivered skbs (including GRO chains) into sockets.
 class SocketDeliverer {
  public:
@@ -65,6 +67,14 @@ class SocketDeliverer {
   /// alloc-failure injection). nullptr detaches.
   void set_faults(fault::FaultLayer* faults) noexcept { faults_ = faults; }
 
+  /// Attaches the host's overload governor: successful socket deliveries
+  /// feed its receiver-livelock watchdog (drops deliberately do not —
+  /// a flood that never reaches a socket is exactly a livelock). nullptr
+  /// detaches.
+  void set_governor(OverloadGovernor* governor) noexcept {
+    governor_ = governor;
+  }
+
   /// Registers delivery counters under `prefix` (e.g. "sockets.").
   void bind_telemetry(telemetry::Registry& reg, const std::string& prefix) {
     t_delivered_ = &reg.counter(prefix + "delivered");
@@ -87,6 +97,7 @@ class SocketDeliverer {
   telemetry::LatencyLedger* ledger_ = nullptr;
   telemetry::FlowTable* flows_ = nullptr;
   fault::FaultLayer* faults_ = nullptr;
+  OverloadGovernor* governor_ = nullptr;
   std::uint64_t drops_ = 0;
   std::uint64_t csum_drops_ = 0;
   std::uint64_t delivered_ = 0;

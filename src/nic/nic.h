@@ -79,6 +79,14 @@ class RxQueue {
   std::uint64_t frames_dropped() const noexcept { return dropped_; }
   std::uint64_t irqs_fired() const noexcept { return irqs_; }
 
+  /// Replaces the moderation parameters at runtime (ethtool -C; the
+  /// overload governor stretches usecs under declared overload). The new
+  /// spacing applies from the next fire decision.
+  void set_coalesce(CoalesceConfig coalesce) noexcept {
+    coalesce_ = coalesce;
+  }
+  const CoalesceConfig& coalesce() const noexcept { return coalesce_; }
+
   /// Registers this queue's counters under `prefix` (e.g. "nic.q0.").
   void bind_telemetry(telemetry::Registry& reg, const std::string& prefix);
 

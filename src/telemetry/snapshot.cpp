@@ -19,7 +19,7 @@ std::string render_softnet_stat(const std::vector<SoftnetRow>& rows) {
         static_cast<unsigned long long>(r.dropped),
         static_cast<unsigned long long>(r.time_squeeze),
         static_cast<unsigned long long>(r.received_rps),
-        static_cast<unsigned long long>(0),  // flow_limit_count
+        static_cast<unsigned long long>(r.flow_limit),
         static_cast<unsigned long long>(r.backlog_len), r.cpu);
     out += buf;
   }

@@ -28,6 +28,10 @@ struct SoftnetRow {
   std::uint64_t received_rps = 0;
   std::uint64_t backlog_len = 0;
   std::uint32_t cpu = 0;
+  /// Packets shed by the per-CPU flow limiter (kernel flow_limit_count).
+  /// Declared after `cpu` so existing positional initializers keep their
+  /// meaning.
+  std::uint64_t flow_limit = 0;
 };
 
 /// Renders rows in /proc/net/softnet_stat's hex-column format (13 columns:

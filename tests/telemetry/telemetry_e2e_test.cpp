@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "apps/sockperf.h"
@@ -159,6 +160,69 @@ TEST_F(TelemetryE2eTest, DeliveredPlusDroppedReconciles) {
   }
   EXPECT_GE(processed, delivered);
   (void)squeezes;
+}
+
+TEST_F(TelemetryE2eTest, FlowLimitColumnReconcilesWithLedger) {
+#if !PRISM_OVERLOAD_ENABLED
+  GTEST_SKIP() << "overload control compiled out: flow_limit reads 0";
+#else
+  // A single hot flow hammering a shrunken backlog: the flow limiter
+  // convicts it, and the softnet_stat flow_limit_count column, the
+  // per-CPU admission counters, and the DropLedger must all agree.
+  harness::TestbedConfig tc;
+  tc.mode = kernel::NapiMode::kPrismBatch;
+  tc.server_netdev_max_backlog = 64;
+  // Make the backlog stage the bottleneck (~200 kpps) so the 400 kpps
+  // flood pins the shrunken backlog and the limiter activates.
+  tc.cost.backlog_stage_per_packet = sim::microseconds(4);
+  tb_ = std::make_unique<harness::Testbed>(tc);
+  auto& cli = tb_->add_client_container("cli");
+  auto& srv = tb_->add_server_container("srv-bg");
+  bg_server_ = std::make_unique<apps::SockperfServer>(
+      tb_->sim(), apps::SockperfServer::Config{&tb_->server(), &srv,
+                                               &tb_->server().cpu(2),
+                                               22222});
+  apps::SockperfClient::Config bg;
+  bg.host = &tb_->client();
+  bg.ns = &cli;
+  bg.cpus = {&tb_->client().cpu(2)};
+  bg.dst_ip = srv.ip();
+  bg.dst_port = 22222;
+  bg.rate_pps = 400'000;
+  bg.burst = 64;
+  bg.reply_every = 0;
+  bg.stop_at = sim::milliseconds(4);
+  bg_client_ = std::make_unique<apps::SockperfClient>(tb_->sim(), bg);
+  bg_client_->start();
+  tb_->sim().run_until(sim::milliseconds(8));
+
+  auto& server = tb_->server();
+  std::uint64_t column_total = 0;
+  for (const auto& r : server.softnet_rows()) column_total += r.flow_limit;
+  std::uint64_t admission_total = 0;
+  for (int i = 0; i < server.num_cpus(); ++i) {
+    admission_total += server.admission(i).flow_limit_count();
+  }
+  EXPECT_GT(column_total, 0u);
+  EXPECT_EQ(column_total, admission_total);
+  EXPECT_EQ(column_total,
+            server.faults().drops.total(fault::DropReason::kFlowLimit));
+
+  // The rendered softnet_stat exposes the same totals in the
+  // flow_limit_count column (index 10, as in the kernel's format).
+  const std::string softnet = server.proc().read("net/softnet_stat");
+  std::uint64_t rendered_total = 0;
+  std::istringstream lines(softnet);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::istringstream cols(line);
+    std::string col;
+    for (int i = 0; i <= 10 && cols >> col; ++i) {
+      if (i == 10) rendered_total += std::stoull(col, nullptr, 16);
+    }
+  }
+  EXPECT_EQ(rendered_total, column_total);
+#endif
 }
 
 TEST_F(TelemetryE2eTest, ProcFilesExposeTelemetry) {
