@@ -11,7 +11,8 @@
 #include "bench_util.h"
 #include "harness/testbed.h"
 
-int main() {
+int main(int argc, char** argv) {
+  prism::bench::parse_threads(argc, argv);
   using namespace prism;
   bench::print_header(
       "Extension", "multiple priority levels under heavy load");
@@ -48,7 +49,7 @@ int main() {
           f.level);
     }
     f.server = std::make_unique<apps::SockperfServer>(
-        tb.sim(), apps::SockperfServer::Config{
+        tb.server_sim(), apps::SockperfServer::Config{
                       &tb.server(), f.srv, &tb.server().cpu(app_cpu),
                       f.port});
     app_cpu = app_cpu % 3 + 1;
@@ -65,15 +66,16 @@ int main() {
     cc.seed = static_cast<std::uint64_t>(f.level) + 7;
     cc.start_at = sim::milliseconds(50);
     cc.stop_at = sim::milliseconds(450);
-    f.client = std::make_unique<apps::SockperfClient>(tb.sim(), cc);
+    f.client = std::make_unique<apps::SockperfClient>(tb.client_sim(), cc);
     f.client->start();
   }
 
   // Heavy best-effort background.
   auto& bg_cli = tb.add_client_container("bg-cli");
   auto& bg_srv = tb.add_server_container("bg-srv");
-  apps::SockperfServer bg_sink(tb.sim(), {&tb.server(), &bg_srv,
-                                          &tb.server().cpu(3), 11119});
+  apps::SockperfServer bg_sink(
+      tb.server_sim(),
+      {&tb.server(), &bg_srv, &tb.server().cpu(3), 11119});
   apps::SockperfClient::Config bg;
   bg.host = &tb.client();
   bg.ns = &bg_cli;
@@ -84,10 +86,10 @@ int main() {
   bg.rate_pps = 300'000;
   bg.burst = 64;
   bg.stop_at = sim::milliseconds(470);
-  apps::SockperfClient bg_client(tb.sim(), bg);
+  apps::SockperfClient bg_client(tb.client_sim(), bg);
   bg_client.start();
 
-  tb.sim().run_until(sim::milliseconds(500));
+  tb.run_until(sim::milliseconds(500));
 
   stats::Table table({"flow", "min(us)", "mean(us)", "p50(us)", "p90(us)",
                       "p99(us)"});

@@ -14,7 +14,8 @@
 #include "bench_util.h"
 #include "harness/experiment.h"
 
-int main() {
+int main(int argc, char** argv) {
+  prism::bench::parse_threads(argc, argv);
   using namespace prism;
   bench::print_header(
       "Ablation",

@@ -32,12 +32,12 @@ Result run(bool rps, prism::kernel::NapiMode mode, double rate_pps,
   tb.server().priority_db().add(probe_srv.ip(), 11112);
   tb.client().priority_db().add(probe_cli.ip(), 22000);
 
-  apps::SockperfServer bulk_server(tb.sim(), {&tb.server(), &srv,
-                                              &tb.server().cpu(1),
-                                              11111});
-  apps::SockperfServer probe_server(tb.sim(), {&tb.server(), &probe_srv,
-                                               &tb.server().cpu(2),
-                                               11112});
+  apps::SockperfServer bulk_server(
+      tb.server_sim(),
+      {&tb.server(), &srv, &tb.server().cpu(1), 11111});
+  apps::SockperfServer probe_server(
+      tb.server_sim(),
+      {&tb.server(), &probe_srv, &tb.server().cpu(2), 11112});
 
   apps::SockperfClient::Config bulk;
   bulk.host = &tb.client();
@@ -51,7 +51,7 @@ Result run(bool rps, prism::kernel::NapiMode mode, double rate_pps,
   bulk.rate_pps = rate_pps;
   bulk.burst = 32;
   bulk.stop_at = sim::milliseconds(300);
-  apps::SockperfClient bulk_client(tb.sim(), bulk);
+  apps::SockperfClient bulk_client(tb.client_sim(), bulk);
   bulk_client.start();
 
   apps::SockperfClient::Config probe;
@@ -65,10 +65,10 @@ Result run(bool rps, prism::kernel::NapiMode mode, double rate_pps,
   probe.reply_every = 1;
   probe.start_at = sim::milliseconds(50);
   probe.stop_at = sim::milliseconds(300);
-  apps::SockperfClient probe_client(tb.sim(), probe);
+  apps::SockperfClient probe_client(tb.client_sim(), probe);
   probe_client.start();
 
-  tb.sim().run_until(sim::milliseconds(330));
+  tb.run_until(sim::milliseconds(330));
   Result r;
   r.delivered_pps =
       static_cast<double>(bulk_server.received()) / 0.300;
@@ -78,7 +78,8 @@ Result run(bool rps, prism::kernel::NapiMode mode, double rate_pps,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  prism::bench::parse_threads(argc, argv);
   using namespace prism;
   bench::print_header("Ablation",
                       "RPS (flow parallelism) vs PRISM (prioritization)");

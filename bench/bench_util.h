@@ -2,14 +2,43 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 
+#include "harness/testbed.h"
 #include "stats/histogram.h"
 #include "stats/summary.h"
 #include "stats/table.h"
 #include "telemetry/latency.h"
 
 namespace prism::bench {
+
+/// Parses `--threads N` / `--threads=N` (or the PRISM_THREADS environment
+/// variable; the flag wins) and installs the result as the harness-wide
+/// default engine via harness::set_default_threads(). Every scenario the
+/// bench runs then picks the parallel lane backend when N >= 2, with no
+/// per-bench plumbing. Returns the resolved count (default 1: classic
+/// single-threaded engine). Call first thing in main().
+inline int parse_threads(int argc, char** argv) {
+  int threads = 1;
+  if (const char* env = std::getenv("PRISM_THREADS")) {
+    threads = std::atoi(env);
+  }
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[i + 1]);
+    } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+    }
+  }
+  if (threads < 1) threads = 1;
+  harness::set_default_threads(threads);
+  if (threads > 1) {
+    std::printf("engine: parallel lanes on %d threads\n\n", threads);
+  }
+  return threads;
+}
 
 inline std::string us(std::int64_t ns) {
   return stats::Table::cell(static_cast<double>(ns) / 1e3);

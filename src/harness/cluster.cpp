@@ -1,0 +1,85 @@
+#include "harness/cluster.h"
+
+#include <stdexcept>
+
+namespace prism::harness {
+
+namespace {
+
+kernel::HostConfig pair_client_config(const ClusterConfig& cfg, int pair) {
+  kernel::HostConfig h;
+  h.name = "client" + std::to_string(pair);
+  h.ip = net::Ipv4Addr::of(10, 0, static_cast<std::uint8_t>(pair), 1);
+  h.num_cpus = cfg.client_cpus;
+  h.nic_queues = cfg.client_queues;
+  h.mode = cfg.mode;
+  h.cost = cfg.cost;
+  h.nic_ring_capacity = cfg.nic_ring_capacity;
+  h.coalesce = cfg.coalesce;
+  return h;
+}
+
+kernel::HostConfig pair_server_config(const ClusterConfig& cfg, int pair) {
+  kernel::HostConfig h;
+  h.name = "server" + std::to_string(pair);
+  h.ip = net::Ipv4Addr::of(10, 0, static_cast<std::uint8_t>(pair), 2);
+  h.num_cpus = cfg.server_cpus;
+  h.nic_queues = 1;  // all network processing on one core, as in the paper
+  h.queue_cpu_map = {0};
+  h.mode = cfg.mode;
+  h.cost = cfg.cost;
+  h.nic_ring_capacity = cfg.nic_ring_capacity;
+  h.coalesce = cfg.coalesce;
+  h.faults = cfg.server_faults;
+  h.netdev_max_backlog = cfg.server_netdev_max_backlog;
+  h.overload = cfg.server_overload;
+  return h;
+}
+
+}  // namespace
+
+Cluster::Cluster(const ClusterConfig& config)
+    : lanes_(2 * (config.pairs < 1 ? 1 : config.pairs)) {
+  if (config.pairs < 1 || config.pairs > 127) {
+    throw std::invalid_argument("Cluster: pairs must be in [1, 127]");
+  }
+  pairs_.reserve(static_cast<std::size_t>(config.pairs));
+  for (int p = 0; p < config.pairs; ++p) {
+    Pair pair;
+    pair.client = std::make_unique<kernel::Host>(
+        lanes_.lane(client_lane(p)), pair_client_config(config, p));
+    pair.server = std::make_unique<kernel::Host>(
+        lanes_.lane(server_lane(p)), pair_server_config(config, p));
+    pair.wire = std::make_unique<nic::Wire>(
+        lanes_, client_lane(p), server_lane(p), config.wire_gbps,
+        config.propagation);
+    pair.overlay = std::make_unique<overlay::OverlayNetwork>(
+        42 + static_cast<std::uint32_t>(p));
+    pair.wire->attach(pair.client->nic(), pair.server->nic());
+    pair.client->nic().attach_wire(*pair.wire);
+    pair.server->nic().attach_wire(*pair.wire);
+    pair.client->add_neighbor(pair.server->ip(), pair.server->mac());
+    pair.server->add_neighbor(pair.client->ip(), pair.client->mac());
+    pairs_.push_back(std::move(pair));
+  }
+}
+
+overlay::Netns& Cluster::add_client_container(int pair,
+                                              const std::string& name) {
+  Pair& p = pairs_.at(static_cast<std::size_t>(pair));
+  return p.overlay->add_container(
+      *p.client, name,
+      net::Ipv4Addr::of(172, 17, static_cast<std::uint8_t>(pair),
+                        p.next_container_ip++));
+}
+
+overlay::Netns& Cluster::add_server_container(int pair,
+                                              const std::string& name) {
+  Pair& p = pairs_.at(static_cast<std::size_t>(pair));
+  return p.overlay->add_container(
+      *p.server, name,
+      net::Ipv4Addr::of(172, 17, static_cast<std::uint8_t>(pair),
+                        p.next_container_ip++));
+}
+
+}  // namespace prism::harness

@@ -1,0 +1,99 @@
+// Multi-pair testbed for parallel simulation: N client/server pairs, one
+// event lane per host.
+//
+// The paper's testbed is one client/server pair on one wire; Cluster
+// replicates that pair P times (2P hosts) and assigns every host its own
+// simulation lane, so an 8-host cluster runs on up to 8 real threads.
+// Each pair gets its own wire, VXLAN overlay (distinct VNI), and address
+// range; pairs interact only through the shared wall clock, which makes
+// the topology an honest scaling benchmark for the conservative-window
+// scheduler — the wires' propagation delay is the lookahead that decides
+// how often the lanes synchronize.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "kernel/host.h"
+#include "nic/wire.h"
+#include "overlay/overlay_network.h"
+#include "sim/lane.h"
+
+namespace prism::harness {
+
+/// Cluster parameters. Per-pair defaults mirror TestbedConfig.
+struct ClusterConfig {
+  int pairs = 2;  ///< client/server pairs; hosts = 2 * pairs, one lane each
+  kernel::NapiMode mode = kernel::NapiMode::kVanilla;
+  kernel::CostModel cost;
+  int client_cpus = 4;
+  int server_cpus = 4;
+  int client_queues = 4;  ///< client-side RSS
+  std::size_t nic_ring_capacity = 4096;
+  nic::CoalesceConfig coalesce{sim::microseconds(50), 64};
+  double wire_gbps = 100.0;
+  sim::Duration propagation = sim::nanoseconds(500);
+  /// Fault injection on every server host (default inactive); clients
+  /// stay fault-free, as in TestbedConfig. Each server owns an
+  /// independent FaultLayer seeded from this config, so faults on pair i
+  /// never perturb pair j.
+  fault::FaultConfig server_faults;
+  /// Overload control + backlog sizing on every server host.
+  kernel::OverloadConfig server_overload;
+  std::size_t server_netdev_max_backlog = 1000;
+};
+
+/// P client/server pairs, 2P hosts, 2P lanes.
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config = ClusterConfig{});
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int pairs() const noexcept { return static_cast<int>(pairs_.size()); }
+  int num_hosts() const noexcept { return 2 * pairs(); }
+
+  sim::LaneSet& lanes() noexcept { return lanes_; }
+
+  kernel::Host& client(int pair) { return *pairs_.at(pair).client; }
+  kernel::Host& server(int pair) { return *pairs_.at(pair).server; }
+  nic::Wire& wire(int pair) { return *pairs_.at(pair).wire; }
+
+  /// Lane indices: client of pair i is lane 2i, server is lane 2i+1.
+  int client_lane(int pair) const noexcept { return 2 * pair; }
+  int server_lane(int pair) const noexcept { return 2 * pair + 1; }
+  sim::Simulator& client_sim(int pair) {
+    return lanes_.lane(client_lane(pair));
+  }
+  sim::Simulator& server_sim(int pair) {
+    return lanes_.lane(server_lane(pair));
+  }
+
+  /// Adds a container on pair `pair`'s client/server host, attached to
+  /// that pair's overlay. Container IPs auto-assign in 172.17.<pair>.0/24.
+  overlay::Netns& add_client_container(int pair, const std::string& name);
+  overlay::Netns& add_server_container(int pair, const std::string& name);
+
+  /// Advances every lane to `deadline` on `threads` OS threads.
+  /// Deterministic for any thread count.
+  void run_until(sim::Time deadline, int threads = 1) {
+    lanes_.run_until(deadline, threads);
+  }
+
+ private:
+  struct Pair {
+    std::unique_ptr<kernel::Host> client;
+    std::unique_ptr<kernel::Host> server;
+    std::unique_ptr<nic::Wire> wire;
+    std::unique_ptr<overlay::OverlayNetwork> overlay;
+    std::uint8_t next_container_ip = 2;
+  };
+
+  sim::LaneSet lanes_;
+  std::vector<Pair> pairs_;
+};
+
+}  // namespace prism::harness

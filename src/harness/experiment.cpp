@@ -24,10 +24,11 @@ constexpr std::uint16_t kBgSrcBase = 21000;
 constexpr sim::Duration kDrain = sim::milliseconds(20);
 
 TestbedConfig testbed_config(const kernel::CostModel& cost,
-                             kernel::NapiMode mode) {
+                             kernel::NapiMode mode, int threads) {
   TestbedConfig tc;
   tc.cost = cost;
   tc.mode = mode;
+  tc.threads = threads;
   return tc;
 }
 
@@ -35,7 +36,7 @@ TestbedConfig testbed_config(const kernel::CostModel& cost,
 /// boundary so the reported attribution covers only the measurement
 /// window.
 void reset_latency_at_warmup(Testbed& tb, sim::Time warmup) {
-  tb.sim().schedule_at(warmup, [&tb] {
+  tb.server_sim().schedule_at(warmup, [&tb] {
     tb.server().latency_ledger().reset();
     tb.server().flow_table().reset();
   });
@@ -45,7 +46,7 @@ void reset_latency_at_warmup(Testbed& tb, sim::Time warmup) {
 
 PriorityScenarioResult run_priority_scenario(
     const PriorityScenarioConfig& cfg) {
-  Testbed tb(testbed_config(cfg.cost, cfg.mode));
+  Testbed tb(testbed_config(cfg.cost, cfg.mode, cfg.threads));
   telemetry::SpanTracer tracer;
   if (!cfg.trace_out.empty()) tb.attach_span_tracer(tracer);
   if (cfg.latency_window > 0) {
@@ -73,10 +74,11 @@ PriorityScenarioResult run_priority_scenario(
 
   // Server applications, each on its own core (paper §V-B2).
   apps::SockperfServer probe_server(
-      tb.sim(), {&tb.server(), srv_probe_ns, &tb.server().cpu(1),
-                 kProbePort});
-  apps::SockperfServer bg_server(tb.sim(), {&tb.server(), srv_bg_ns,
-                                            &tb.server().cpu(2), kBgPort});
+      tb.server_sim(), {&tb.server(), srv_probe_ns, &tb.server().cpu(1),
+                        kProbePort});
+  apps::SockperfServer bg_server(
+      tb.server_sim(),
+      {&tb.server(), srv_bg_ns, &tb.server().cpu(2), kBgPort});
 
   // Probe client: ping-pong, every packet echoed.
   apps::SockperfClient::Config probe_cfg;
@@ -91,7 +93,7 @@ PriorityScenarioResult run_priority_scenario(
   probe_cfg.reply_every = 1;
   probe_cfg.start_at = cfg.warmup;
   probe_cfg.stop_at = t_end;
-  apps::SockperfClient probe_client(tb.sim(), probe_cfg);
+  apps::SockperfClient probe_client(tb.client_sim(), probe_cfg);
 
   // Background: constant-rate UDP throughput traffic across two threads.
   apps::SockperfClient::Config bg_cfg;
@@ -109,21 +111,23 @@ PriorityScenarioResult run_priority_scenario(
   bg_cfg.reply_every = 0;
   bg_cfg.start_at = 0;
   bg_cfg.stop_at = t_end + kDrain / 2;
-  apps::SockperfClient bg_client(tb.sim(), bg_cfg);
+  apps::SockperfClient bg_client(tb.client_sim(), bg_cfg);
 
   probe_client.start();
   if (cfg.busy && cfg.bg_rate_pps > 0) bg_client.start();
 
-  // Measure server RX-core utilization over the probe window.
+  // Measure server RX-core utilization over the probe window (server
+  // state, so it samples on the server's lane).
   auto& rx_acct = tb.server_rx_cpu().accounting();
-  tb.sim().schedule_at(cfg.warmup,
-                       [&] { rx_acct.begin_window(tb.sim().now()); });
+  tb.server_sim().schedule_at(cfg.warmup, [&] {
+    rx_acct.begin_window(tb.server_sim().now());
+  });
   double utilization = 0.0;
-  tb.sim().schedule_at(t_end, [&] {
-    utilization = rx_acct.utilization(tb.sim().now());
+  tb.server_sim().schedule_at(t_end, [&] {
+    utilization = rx_acct.utilization(tb.server_sim().now());
   });
 
-  tb.sim().run_until(t_end + kDrain);
+  tb.run_until(t_end + kDrain);
 
   PriorityScenarioResult result;
   result.latency.merge(probe_client.latency());
@@ -149,7 +153,7 @@ PriorityScenarioResult run_priority_scenario(
 
 StreamlinedScenarioResult run_streamlined_scenario(
     const StreamlinedScenarioConfig& cfg) {
-  Testbed tb(testbed_config(cfg.cost, cfg.mode));
+  Testbed tb(testbed_config(cfg.cost, cfg.mode, cfg.threads));
   reset_latency_at_warmup(tb, cfg.warmup);
   const sim::Time t_end = cfg.warmup + cfg.duration;
 
@@ -162,8 +166,9 @@ StreamlinedScenarioResult run_streamlined_scenario(
   tb.client().priority_db().add(cli_ns.ip(), kProbeSrcPort);
   tb.client().priority_db().add(cli_ns.ip(), kProbeSrcPort + 1);
 
-  apps::SockperfServer server(tb.sim(), {&tb.server(), &srv_ns,
-                                         &tb.server().cpu(1), kProbePort});
+  apps::SockperfServer server(
+      tb.server_sim(),
+      {&tb.server(), &srv_ns, &tb.server().cpu(1), kProbePort});
 
   apps::SockperfClient::Config cc;
   cc.host = &tb.client();
@@ -181,28 +186,32 @@ StreamlinedScenarioResult run_streamlined_scenario(
   cc.jitter = 0.05;
   cc.start_at = 0;
   cc.stop_at = t_end;
-  apps::SockperfClient client(tb.sim(), cc);
+  apps::SockperfClient client(tb.client_sim(), cc);
   client.start();
 
+  // Window-edge sampling, split by which host owns the counter: server
+  // goodput and CPU accounting sample on the server's lane, the client
+  // send counter on the client's lane. In classic mode both lanes are the
+  // same simulator, so the split is behavior-neutral.
   auto& rx_acct = tb.server_rx_cpu().accounting();
   std::uint64_t received_at_warmup = 0;
-  tb.sim().schedule_at(cfg.warmup, [&] {
-    rx_acct.begin_window(tb.sim().now());
+  tb.server_sim().schedule_at(cfg.warmup, [&] {
+    rx_acct.begin_window(tb.server_sim().now());
     received_at_warmup = server.received();
   });
   double utilization = 0.0;
   std::uint64_t received_at_end = 0;
   std::uint64_t sent_at_warmup = 0;
-  tb.sim().schedule_at(cfg.warmup,
-                       [&] { sent_at_warmup = client.sent(); });
+  tb.client_sim().schedule_at(cfg.warmup,
+                              [&] { sent_at_warmup = client.sent(); });
   std::uint64_t sent_at_end = 0;
-  tb.sim().schedule_at(t_end, [&] {
-    utilization = rx_acct.utilization(tb.sim().now());
+  tb.server_sim().schedule_at(t_end, [&] {
+    utilization = rx_acct.utilization(tb.server_sim().now());
     received_at_end = server.received();
-    sent_at_end = client.sent();
   });
+  tb.client_sim().schedule_at(t_end, [&] { sent_at_end = client.sent(); });
 
-  tb.sim().run_until(t_end + kDrain);
+  tb.run_until(t_end + kDrain);
 
   StreamlinedScenarioResult result;
   result.latency.merge(client.latency());
@@ -219,7 +228,7 @@ StreamlinedScenarioResult run_streamlined_scenario(
 
 MemcachedScenarioResult run_memcached_scenario(
     const MemcachedScenarioConfig& cfg) {
-  Testbed tb(testbed_config(cfg.cost, cfg.mode));
+  Testbed tb(testbed_config(cfg.cost, cfg.mode, cfg.threads));
   reset_latency_at_warmup(tb, cfg.warmup);
   const sim::Time t_end = cfg.warmup + cfg.duration;
 
@@ -235,11 +244,12 @@ MemcachedScenarioResult run_memcached_scenario(
   sc.host = &tb.server();
   sc.ns = &srv_mc_ns;
   sc.cpu = &tb.server().cpu(1);
-  apps::MemcachedServer mc_server(tb.sim(), sc);
+  apps::MemcachedServer mc_server(tb.server_sim(), sc);
   mc_server.preload(10000, cfg.value_size);
 
-  apps::SockperfServer bg_server(tb.sim(), {&tb.server(), &srv_bg_ns,
-                                            &tb.server().cpu(2), kBgPort});
+  apps::SockperfServer bg_server(
+      tb.server_sim(),
+      {&tb.server(), &srv_bg_ns, &tb.server().cpu(2), kBgPort});
 
   apps::MemaslapClient::Config mc;
   mc.host = &tb.client();
@@ -253,7 +263,7 @@ MemcachedScenarioResult run_memcached_scenario(
   mc.start_at = cfg.warmup;
   mc.stop_at = t_end;
   mc.seed = cfg.seed;
-  apps::MemaslapClient memaslap(tb.sim(), mc);
+  apps::MemaslapClient memaslap(tb.client_sim(), mc);
 
   apps::SockperfClient::Config bg_cfg;
   bg_cfg.host = &tb.client();
@@ -267,20 +277,21 @@ MemcachedScenarioResult run_memcached_scenario(
   bg_cfg.reply_every = 0;
   bg_cfg.start_at = 0;
   bg_cfg.stop_at = t_end + kDrain / 2;
-  apps::SockperfClient bg_client(tb.sim(), bg_cfg);
+  apps::SockperfClient bg_client(tb.client_sim(), bg_cfg);
 
   memaslap.start();
   if (cfg.busy && cfg.bg_rate_pps > 0) bg_client.start();
 
   auto& rx_acct = tb.server_rx_cpu().accounting();
-  tb.sim().schedule_at(cfg.warmup,
-                       [&] { rx_acct.begin_window(tb.sim().now()); });
+  tb.server_sim().schedule_at(cfg.warmup, [&] {
+    rx_acct.begin_window(tb.server_sim().now());
+  });
   double utilization = 0.0;
-  tb.sim().schedule_at(t_end, [&] {
-    utilization = rx_acct.utilization(tb.sim().now());
+  tb.server_sim().schedule_at(t_end, [&] {
+    utilization = rx_acct.utilization(tb.server_sim().now());
   });
 
-  tb.sim().run_until(t_end + kDrain);
+  tb.run_until(t_end + kDrain);
 
   MemcachedScenarioResult result;
   result.latency.merge(memaslap.latency());
@@ -293,7 +304,7 @@ MemcachedScenarioResult run_memcached_scenario(
 }
 
 WebScenarioResult run_web_scenario(const WebScenarioConfig& cfg) {
-  Testbed tb(testbed_config(cfg.cost, cfg.mode));
+  Testbed tb(testbed_config(cfg.cost, cfg.mode, cfg.threads));
   reset_latency_at_warmup(tb, cfg.warmup);
   const sim::Time t_end = cfg.warmup + cfg.duration;
 
@@ -327,7 +338,7 @@ WebScenarioResult run_web_scenario(const WebScenarioConfig& cfg) {
   wc.rate_rps = cfg.web_rate_rps;
   wc.start_at = cfg.warmup;
   wc.stop_at = t_end;
-  apps::Wrk2Client wrk(tb.sim(), wc);
+  apps::Wrk2Client wrk(tb.client_sim(), wc);
 
   // Background: TCP bulk (sockperf TCP throughput, 64 KB messages).
   auto& bg_cli_ep =
@@ -343,20 +354,21 @@ WebScenarioResult run_web_scenario(const WebScenarioConfig& cfg) {
   bc.message_size = cfg.bg_message_size;
   bc.start_at = 0;
   bc.stop_at = t_end + kDrain / 2;
-  apps::SockperfTcpSender bg_sender(tb.sim(), bc);
+  apps::SockperfTcpSender bg_sender(tb.client_sim(), bc);
 
   wrk.start();
   if (cfg.busy && cfg.bg_rate_mps > 0) bg_sender.start();
 
   auto& rx_acct = tb.server_rx_cpu().accounting();
-  tb.sim().schedule_at(cfg.warmup,
-                       [&] { rx_acct.begin_window(tb.sim().now()); });
+  tb.server_sim().schedule_at(cfg.warmup, [&] {
+    rx_acct.begin_window(tb.server_sim().now());
+  });
   double utilization = 0.0;
-  tb.sim().schedule_at(t_end, [&] {
-    utilization = rx_acct.utilization(tb.sim().now());
+  tb.server_sim().schedule_at(t_end, [&] {
+    utilization = rx_acct.utilization(tb.server_sim().now());
   });
 
-  tb.sim().run_until(t_end + kDrain);
+  tb.run_until(t_end + kDrain);
 
   WebScenarioResult result;
   result.latency.merge(wrk.latency());

@@ -46,6 +46,9 @@ struct PriorityScenarioConfig {
   /// Non-empty: attach a span tracer to both hosts and export the
   /// timeline as Chrome trace_event JSON to this path (Perfetto-loadable).
   std::string trace_out;
+  /// Simulation engine (TestbedConfig::threads): 0 = harness default,
+  /// 1 = classic shared simulator, >= 2 = parallel lane backend.
+  int threads = 0;
 };
 
 struct PriorityScenarioResult {
@@ -83,6 +86,8 @@ struct StreamlinedScenarioConfig {
   sim::Duration warmup = sim::milliseconds(50);
   sim::Duration duration = sim::milliseconds(500);
   kernel::CostModel cost{};
+  /// Simulation engine (TestbedConfig::threads): 0 = harness default.
+  int threads = 0;
 };
 
 struct StreamlinedScenarioResult {
@@ -115,6 +120,8 @@ struct MemcachedScenarioConfig {
   sim::Duration duration = sim::milliseconds(500);
   kernel::CostModel cost{};
   std::uint64_t seed = 1;
+  /// Simulation engine (TestbedConfig::threads): 0 = harness default.
+  int threads = 0;
 };
 
 struct MemcachedScenarioResult {
@@ -146,6 +153,8 @@ struct WebScenarioConfig {
   sim::Duration warmup = sim::milliseconds(50);
   sim::Duration duration = sim::milliseconds(500);
   kernel::CostModel cost{};
+  /// Simulation engine (TestbedConfig::threads): 0 = harness default.
+  int threads = 0;
 };
 
 struct WebScenarioResult {

@@ -1,11 +1,31 @@
 #include "kernel/skb_pool.h"
 
+#include <thread>
+
 namespace prism::kernel {
 
+namespace {
+
+const std::thread::id kMainThread = std::this_thread::get_id();
+
+/// Same per-thread lifecycle as sim::BufferPool::instance(): lane workers
+/// free their pool on thread exit, the main thread's is intentionally
+/// leaked so static-storage SkbPtrs may release during shutdown.
+struct TlsSkbPool {
+  SkbPool* pool = new SkbPool();
+  ~TlsSkbPool() {
+    if (std::this_thread::get_id() != kMainThread) delete pool;
+  }
+};
+
+}  // namespace
+
 SkbPool& SkbPool::instance() noexcept {
-  // Intentionally leaked, same rationale as sim::BufferPool::instance().
-  static SkbPool* pool = new SkbPool();
-  return *pool;
+  // One slab per thread, so each parallel lane allocates and recycles
+  // skbs lock-free. Skbs never cross lanes (only raw frames travel the
+  // wire), so every skb is released to the pool that issued it.
+  thread_local TlsSkbPool tls;
+  return *tls.pool;
 }
 
 SkbPool::Handle SkbPool::acquire() { return Handle(pool_.acquire()); }

@@ -14,14 +14,16 @@
 
 namespace prism::kernel {
 
-/// Process-global free-list recycler for Skb.
+/// Per-thread free-list recycler for Skb.
 class SkbPool {
  public:
   /// RAII handle returned by acquire(); identical to kernel::SkbPtr.
   using Handle = SkbPtr;
 
-  /// The process-global instance (never destroyed: SkbPtrs with static
-  /// storage duration may release during shutdown).
+  /// The calling thread's instance — one slab per thread so parallel
+  /// simulation lanes allocate lock-free. The main thread's pool is never
+  /// destroyed (SkbPtrs with static storage duration may release during
+  /// shutdown); lane workers free theirs at thread exit.
   static SkbPool& instance() noexcept;
 
   /// Returns a scrubbed skb, recycled when the free list has one.

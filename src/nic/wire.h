@@ -3,11 +3,19 @@
 // Models the paper's testbed topology: two hosts directly connected with a
 // 100 GbE cable. Frames serialize onto the wire at link bandwidth
 // (per-direction FIFO) and arrive after the propagation delay.
+//
+// A wire may span two simulation lanes (parallel runs put each host on its
+// own lane): the endpoints then live on different Simulators, and delivery
+// crosses through the LaneSet's SPSC inboxes instead of a direct
+// schedule_at. The propagation delay doubles as the conservative
+// lookahead that lets the lanes run concurrently — the wire registers it
+// with the LaneSet at attach time.
 #pragma once
 
 #include <cstdint>
 
 #include "net/packet.h"
+#include "sim/lane.h"
 #include "sim/simulator.h"
 
 namespace prism::nic {
@@ -17,36 +25,55 @@ class Nic;
 /// Full-duplex point-to-point link.
 class Wire {
  public:
+  /// Single-lane wire: both endpoints schedule on `sim`.
   /// `bandwidth_gbps` is per direction. The paper's testbed used 100 GbE.
   Wire(sim::Simulator& sim, double bandwidth_gbps = 100.0,
+       sim::Duration propagation = sim::nanoseconds(500));
+
+  /// Cross-lane wire: endpoint a lives on `lanes.lane(lane_a)`, endpoint b
+  /// on `lanes.lane(lane_b)`. Registers the propagation delay as lookahead.
+  /// `lane_a == lane_b` degrades gracefully to the single-lane behaviour.
+  Wire(sim::LaneSet& lanes, int lane_a, int lane_b,
+       double bandwidth_gbps = 100.0,
        sim::Duration propagation = sim::nanoseconds(500));
 
   Wire(const Wire&) = delete;
   Wire& operator=(const Wire&) = delete;
 
-  /// Attaches the two endpoints. Must be called exactly once before any
-  /// transmit.
+  /// Attaches the two endpoints (a on the first/lane_a side, b on the
+  /// second/lane_b side). Must be called exactly once before any transmit.
   void attach(Nic& a, Nic& b);
 
   /// Puts `frame` on the wire from endpoint `src`. The frame is delivered
   /// to the opposite endpoint after queueing (if the direction is busy),
-  /// serialization, and propagation.
+  /// serialization, and propagation. Thread-safe across lanes: each
+  /// direction's state is only touched by its source lane.
   void transmit_from(const Nic& src, net::PacketBuf frame);
 
   /// Serialization time of a frame of `bytes` at link bandwidth.
   sim::Duration serialization_time(std::size_t bytes) const noexcept;
 
-  std::uint64_t frames_delivered() const noexcept { return delivered_; }
+  sim::Duration propagation() const noexcept { return propagation_; }
+
+  std::uint64_t frames_delivered() const noexcept {
+    return delivered_ab_ + delivered_ba_;
+  }
 
  private:
-  sim::Simulator& sim_;
+  sim::Simulator& sim_a_;  ///< endpoint a's lane (== b's when single-lane)
+  sim::Simulator& sim_b_;
+  sim::LaneSet* lanes_ = nullptr;  ///< non-null when lane_a_ != lane_b_
+  int lane_a_ = 0;
+  int lane_b_ = 0;
   double bits_per_ns_;
   sim::Duration propagation_;
   Nic* a_ = nullptr;
   Nic* b_ = nullptr;
+  // Per-direction state: written only by the source endpoint's lane.
   sim::Time busy_until_ab_ = 0;
   sim::Time busy_until_ba_ = 0;
-  std::uint64_t delivered_ = 0;
+  std::uint64_t delivered_ab_ = 0;
+  std::uint64_t delivered_ba_ = 0;
 };
 
 }  // namespace prism::nic

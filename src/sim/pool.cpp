@@ -1,13 +1,38 @@
 #include "sim/pool.h"
 
+#include <thread>
+
 namespace prism::sim {
 
+namespace {
+
+/// The thread that ran static initialization — i.e. the main thread.
+/// Lane workers compare against it to decide their pool's fate at exit.
+const std::thread::id kMainThread = std::this_thread::get_id();
+
+/// Thread-exit holder: parallel lane workers free their pool when the
+/// thread dies (LeakSanitizer would otherwise report the unreachable
+/// thread-local allocation), while the main thread's pool is intentionally
+/// leaked — PacketBufs owned by objects with static storage duration
+/// release their buffers during program shutdown, after normal static (and
+/// main-thread thread_local) destructors would have torn the pool down.
+struct TlsBufferPool {
+  BufferPool* pool = new BufferPool();
+  ~TlsBufferPool() {
+    if (std::this_thread::get_id() != kMainThread) delete pool;
+  }
+};
+
+}  // namespace
+
 BufferPool& BufferPool::instance() noexcept {
-  // Intentionally leaked: PacketBufs owned by objects with static storage
-  // duration release their buffers during program shutdown, after normal
-  // static destructors would have torn a stack-local singleton down.
-  static BufferPool* pool = new BufferPool();
-  return *pool;
+  // One pool per thread: each parallel simulation lane recycles buffers
+  // through its own free list, so the packet hot path stays lock-free at
+  // any thread count. Buffers migrate between pools when frames cross
+  // lanes (acquired on the sender's thread, released on the receiver's),
+  // which is harmless — a free list has no affinity requirement.
+  thread_local TlsBufferPool tls;
+  return *tls.pool;
 }
 
 }  // namespace prism::sim

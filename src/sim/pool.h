@@ -103,7 +103,7 @@ class ObjectPool {
   PoolStats stats_;
 };
 
-/// Process-global free list of byte buffers backing net::PacketBuf.
+/// Per-thread free list of byte buffers backing net::PacketBuf.
 ///
 /// PacketBuf's storage vector is acquired here on construction and
 /// returned here on destruction, so the vector's heap block survives the
@@ -115,8 +115,10 @@ class BufferPool {
   static constexpr std::size_t kDefaultMaxFree = 16384;
   static constexpr std::size_t kMaxRetainedBytes = 256 * 1024;
 
-  /// The process-global instance (never destroyed: PacketBufs with static
-  /// storage duration may release buffers during shutdown).
+  /// The calling thread's instance — one pool per thread so parallel
+  /// simulation lanes recycle without locks. The main thread's pool is
+  /// never destroyed (PacketBufs with static storage duration may release
+  /// buffers during shutdown); lane workers free theirs at thread exit.
   static BufferPool& instance() noexcept;
 
   BufferPool() { free_.reserve(1024); }

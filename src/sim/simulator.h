@@ -52,6 +52,10 @@ class Simulator {
   /// Number of events waiting in the queue.
   std::size_t pending_events() const noexcept { return queue_.size(); }
 
+  /// Timestamp of the earliest pending event (the conservative-window
+  /// scheduler's horizon input). Precondition: pending_events() > 0.
+  Time next_event_time() const { return queue_.next_time(); }
+
  private:
   EventQueue queue_;
   Time now_ = 0;

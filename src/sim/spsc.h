@@ -1,0 +1,103 @@
+// Single-producer single-consumer handoff queue for cross-lane events.
+//
+// Each (src lane, dst lane) wire endpoint owns one of these: the source
+// lane's thread pushes cross-host deliveries while its window executes,
+// and the destination lane's thread drains them at the next window edge.
+// The fast path is a fixed-capacity lock-free ring (acquire/release on the
+// head/tail indices, no CAS); when a burst overflows the ring the producer
+// falls back to a mutex-guarded spill vector, so the queue is unbounded
+// without ever dropping an event. The window barrier guarantees produce
+// and drain phases never overlap for correctness purposes, but the ring is
+// written to be safe under true concurrency so ThreadSanitizer agrees.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace prism::sim {
+
+/// Bounded lock-free SPSC ring with an unbounded mutex-guarded spill path.
+///
+/// push() may be called by exactly one producer thread, drain_into() by
+/// exactly one consumer thread. Capacity is rounded up to a power of two.
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity = 1024) {
+    std::size_t cap = 16;
+    while (cap < capacity) cap <<= 1;
+    ring_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. Never fails: a full ring spills to the mutex path.
+  void push(T value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail < ring_.size()) {
+      ring_[head & mask_] = std::move(value);
+      head_.store(head + 1, std::memory_order_release);
+      return;
+    }
+    ++spilled_;
+    std::lock_guard<std::mutex> lock(spill_mu_);
+    spill_.push_back(std::move(value));
+  }
+
+  /// Consumer side: appends every queued element to `out` in push order
+  /// (ring first, then any spilled overflow — the spill only fills after
+  /// the ring, so this preserves FIFO order within a produce phase).
+  void drain_into(std::vector<T>& out) {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    std::size_t tail = tail_.load(std::memory_order_relaxed);
+    while (tail != head) {
+      out.push_back(std::move(ring_[tail & mask_]));
+      ++tail;
+    }
+    tail_.store(tail, std::memory_order_release);
+    if (spilled_.load(std::memory_order_relaxed) > drained_spills_) {
+      std::lock_guard<std::mutex> lock(spill_mu_);
+      for (T& v : spill_) out.push_back(std::move(v));
+      drained_spills_ += spill_.size();
+      spill_.clear();
+    }
+  }
+
+  /// True when no element is queued on either path. Only meaningful when
+  /// the producer is quiescent (between windows).
+  bool empty() const {
+    if (head_.load(std::memory_order_acquire) !=
+        tail_.load(std::memory_order_acquire)) {
+      return false;
+    }
+    return spilled_.load(std::memory_order_acquire) == drained_spills_;
+  }
+
+  std::size_t capacity() const noexcept { return ring_.size(); }
+
+  /// Number of pushes that missed the ring and took the mutex path.
+  std::uint64_t spill_count() const noexcept {
+    return spilled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<T> ring_;
+  std::size_t mask_ = 0;
+  // Producer-written / consumer-written indices on separate cache lines so
+  // the two sides do not false-share.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  std::atomic<std::uint64_t> spilled_{0};
+  std::uint64_t drained_spills_ = 0;  ///< consumer-private
+  std::mutex spill_mu_;
+  std::vector<T> spill_;
+};
+
+}  // namespace prism::sim

@@ -1,0 +1,186 @@
+// Cross-thread-count determinism of the parallel lane backend, on the
+// full stack: multi-pair clusters with fault injection and overload
+// control active must produce byte-identical telemetry, fault ledgers
+// and overload snapshots whether the lanes run on 1 OS thread or N.
+// Repeated parallel runs must also match each other — a data race that
+// leaked simulation state across lanes would show up here first.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/sockperf.h"
+#include "harness/cluster.h"
+#include "harness/testbed.h"
+#include "sim/time.h"
+
+namespace prism {
+namespace {
+
+struct ClusterRun {
+  /// One string per host: every proc surface that renders counter state.
+  std::vector<std::string> host_snapshots;
+  std::vector<std::uint64_t> received;
+  std::vector<std::uint64_t> replies;
+  std::uint64_t events = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t fault_injections = 0;
+};
+
+/// Two pairs (4 hosts, 4 lanes) under asymmetric load, with wire faults
+/// and a small backlog (so overload control engages) on every server.
+ClusterRun run_cluster(int threads, std::uint64_t seed) {
+  harness::ClusterConfig cc;
+  cc.pairs = 2;
+  cc.mode = kernel::NapiMode::kPrismBatch;
+  cc.server_faults.seed = seed;
+  cc.server_faults.wire_drop_rate = 0.01;
+  cc.server_faults.wire_corrupt_rate = 0.005;
+  cc.server_faults.wire_duplicate_rate = 0.005;
+  cc.server_netdev_max_backlog = 128;
+  harness::Cluster cluster(cc);
+
+  std::vector<std::unique_ptr<apps::SockperfServer>> servers;
+  std::vector<std::unique_ptr<apps::SockperfClient>> clients;
+  for (int p = 0; p < cluster.pairs(); ++p) {
+    auto& cli_ns = cluster.add_client_container(p, "cli");
+    auto& srv_ns = cluster.add_server_container(p, "srv");
+    cluster.server(p).priority_db().add(srv_ns.ip(), 11111);
+    servers.push_back(std::make_unique<apps::SockperfServer>(
+        cluster.server_sim(p),
+        apps::SockperfServer::Config{&cluster.server(p), &srv_ns,
+                                     &cluster.server(p).cpu(1), 11111}));
+    apps::SockperfClient::Config clc;
+    clc.host = &cluster.client(p);
+    clc.ns = &cli_ns;
+    clc.cpus = {&cluster.client(p).cpu(1), &cluster.client(p).cpu(2)};
+    clc.dst_ip = srv_ns.ip();
+    clc.dst_port = 11111;
+    clc.rate_pps = 150'000.0 + 50'000.0 * p;  // lanes advance unevenly
+    clc.burst = 32;
+    clc.reply_every = 4;
+    clc.stop_at = sim::milliseconds(4);
+    clients.push_back(
+        std::make_unique<apps::SockperfClient>(cluster.client_sim(p), clc));
+    clients.back()->start();
+  }
+
+  cluster.run_until(sim::milliseconds(5), threads);
+
+  ClusterRun r;
+  auto snap = [](kernel::Host& h) {
+    return h.proc().read("prism/telemetry") + h.proc().read("prism/faults") +
+           h.proc().read("prism/overload") +
+           h.proc().read("net/softnet_stat");
+  };
+  for (int p = 0; p < cluster.pairs(); ++p) {
+    r.host_snapshots.push_back(snap(cluster.client(p)));
+    r.host_snapshots.push_back(snap(cluster.server(p)));
+    r.received.push_back(servers[static_cast<std::size_t>(p)]->received());
+    r.replies.push_back(clients[static_cast<std::size_t>(p)]->replies());
+    const auto& sc = cluster.server(p).faults().plan.counters();
+    r.fault_injections +=
+        sc.wire_drops + sc.wire_corrupts + sc.wire_duplicates;
+    // Per-host scoping: the client hosts carry no fault plan, so no
+    // injection may ever be attributed to them.
+    EXPECT_FALSE(cluster.client(p).faults().plan.active());
+    EXPECT_EQ(cluster.client(p).faults().plan.counters().wire_drops, 0u);
+  }
+  r.events = cluster.lanes().events_executed();
+  r.messages = cluster.lanes().messages_posted();
+  return r;
+}
+
+void expect_same(const ClusterRun& a, const ClusterRun& b) {
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.received, b.received);
+  EXPECT_EQ(a.replies, b.replies);
+  EXPECT_EQ(a.fault_injections, b.fault_injections);
+  ASSERT_EQ(a.host_snapshots.size(), b.host_snapshots.size());
+  for (std::size_t i = 0; i < a.host_snapshots.size(); ++i) {
+    EXPECT_EQ(a.host_snapshots[i], b.host_snapshots[i])
+        << "host " << i << " snapshot diverged";
+  }
+}
+
+TEST(ParallelDeterminismTest, OneThreadVsFourByteIdentical) {
+  for (std::uint64_t seed : {1ull, 7ull}) {
+    const ClusterRun serial = run_cluster(1, seed);
+    const ClusterRun parallel = run_cluster(4, seed);
+    ASSERT_GT(serial.events, 0u);
+    ASSERT_GT(serial.messages, 0u);
+    for (std::uint64_t replies : serial.replies) EXPECT_GT(replies, 0u);
+    expect_same(serial, parallel);
+  }
+}
+
+TEST(ParallelDeterminismTest, RepeatedParallelRunsIdentical) {
+  const ClusterRun a = run_cluster(4, 3);
+  const ClusterRun b = run_cluster(4, 3);
+  expect_same(a, b);
+}
+
+TEST(ParallelDeterminismTest, DifferentSeedsDiverge) {
+  // Sanity that the snapshots are sensitive enough to detect divergence:
+  // different fault seeds must not compare equal.
+  const ClusterRun a = run_cluster(1, 1);
+  const ClusterRun b = run_cluster(1, 2);
+#if PRISM_FAULTS_ENABLED
+  EXPECT_NE(a.host_snapshots, b.host_snapshots);
+#else
+  expect_same(a, b);  // no faults compiled in: seeds change nothing
+#endif
+}
+
+// Testbed lane mode: the paper testbed on two lanes must match itself
+// run-to-run (and its classic-engine counters must stay plausible).
+TEST(ParallelDeterminismTest, TestbedLaneModeIsRepeatable) {
+  auto run_testbed = [](int threads) {
+    harness::TestbedConfig tc;
+    tc.threads = threads;
+    harness::Testbed tb(tc);
+    auto& cli = tb.add_client_container("cli");
+    auto& srv = tb.add_server_container("srv");
+    tb.server().priority_db().add(srv.ip(), 11111);
+    apps::SockperfServer server(
+        tb.server_sim(),
+        {&tb.server(), &srv, &tb.server().cpu(1), 11111});
+    apps::SockperfClient::Config clc;
+    clc.host = &tb.client();
+    clc.ns = &cli;
+    clc.cpus = {&tb.client().cpu(1)};
+    clc.dst_ip = srv.ip();
+    clc.dst_port = 11111;
+    clc.rate_pps = 100'000.0;
+    clc.reply_every = 2;
+    clc.stop_at = sim::milliseconds(4);
+    apps::SockperfClient client(tb.client_sim(), clc);
+    client.start();
+    tb.run_until(sim::milliseconds(5));
+    return tb.server().proc().read("prism/telemetry") +
+           std::to_string(server.received()) + "/" +
+           std::to_string(client.replies());
+  };
+  const std::string lane_a = run_testbed(2);
+  const std::string lane_b = run_testbed(2);
+  EXPECT_EQ(lane_a, lane_b);
+  EXPECT_NE(lane_a.find("/"), std::string::npos);
+}
+
+TEST(ParallelDeterminismTest, TestbedClassicSimAccessorThrowsInLaneMode) {
+  harness::TestbedConfig tc;
+  tc.threads = 2;
+  harness::Testbed tb(tc);
+  EXPECT_TRUE(tb.parallel());
+  EXPECT_THROW(tb.sim(), std::logic_error);
+  tc.threads = 1;
+  harness::Testbed classic(tc);
+  EXPECT_FALSE(classic.parallel());
+  EXPECT_NO_THROW(classic.sim());
+}
+
+}  // namespace
+}  // namespace prism

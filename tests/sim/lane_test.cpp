@@ -1,0 +1,299 @@
+// LaneSet + SpscQueue unit tests: the conservative-window scheduler's
+// edge cases (zero lookahead, events exactly on window boundaries,
+// peerless lanes) and its determinism across thread counts.
+#include "sim/lane.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/spsc.h"
+#include "sim/time.h"
+
+namespace prism::sim {
+namespace {
+
+// ------------------------------------------------------------ SpscQueue
+
+TEST(SpscQueueTest, DrainsInPushOrder) {
+  SpscQueue<int> q(64);
+  for (int i = 0; i < 40; ++i) q.push(i);
+  EXPECT_FALSE(q.empty());
+  std::vector<int> out;
+  q.drain_into(out);
+  ASSERT_EQ(out.size(), 40u);
+  for (int i = 0; i < 40; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], i);
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.spill_count(), 0u);
+}
+
+TEST(SpscQueueTest, OverflowSpillsWithoutLossAndKeepsOrder) {
+  SpscQueue<int> q(16);  // capacity rounds to exactly 16
+  ASSERT_EQ(q.capacity(), 16u);
+  for (int i = 0; i < 50; ++i) q.push(i);
+  EXPECT_EQ(q.spill_count(), 50u - 16u);
+  std::vector<int> out;
+  q.drain_into(out);
+  ASSERT_EQ(out.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(out[static_cast<size_t>(i)], i);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscQueueTest, ReusableAfterDrain) {
+  SpscQueue<int> q(16);
+  std::vector<int> out;
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) q.push(round * 100 + i);
+    out.clear();
+    q.drain_into(out);
+    ASSERT_EQ(out.size(), 20u);
+    EXPECT_EQ(out.front(), round * 100);
+    EXPECT_EQ(out.back(), round * 100 + 19);
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+// -------------------------------------------------------------- LaneSet
+
+TEST(LaneSetTest, ConstructionValidation) {
+  EXPECT_THROW(LaneSet(0), std::invalid_argument);
+  LaneSet set(3);
+  EXPECT_EQ(set.num_lanes(), 3);
+  EXPECT_THROW(set.register_link(0, 3, 100), std::out_of_range);
+  EXPECT_THROW(set.register_link(-1, 1, 100), std::out_of_range);
+  EXPECT_THROW(set.register_link(0, 1, -5), std::invalid_argument);
+  // Self-links are ignored: no lookahead, no linkage.
+  set.register_link(1, 1, 5);
+  EXPECT_EQ(set.lookahead(), LaneSet::kMaxTime);
+}
+
+TEST(LaneSetTest, LookaheadIsMinimumOverLinks) {
+  LaneSet set(3);
+  set.register_link(0, 1, 700);
+  EXPECT_EQ(set.lookahead(), 700);
+  set.register_link(1, 2, 400);
+  EXPECT_EQ(set.lookahead(), 400);
+  set.register_link(0, 2, 900);
+  EXPECT_EQ(set.lookahead(), 400);
+}
+
+TEST(LaneSetTest, SingleLaneRunsLikeASimulator) {
+  LaneSet set(1);
+  std::vector<Time> log;
+  set.lane(0).schedule_at(10, [&] { log.push_back(set.lane(0).now()); });
+  set.lane(0).schedule_at(30, [&] { log.push_back(set.lane(0).now()); });
+  set.run_until(100);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0], 10);
+  EXPECT_EQ(log[1], 30);
+  EXPECT_EQ(set.lane(0).now(), 100);
+  EXPECT_EQ(set.events_executed(), 2u);
+}
+
+TEST(LaneSetTest, DeadlineSemanticsMatchSimulatorRunUntil) {
+  LaneSet set(2);
+  set.register_link(0, 1, 500);
+  int at_deadline = 0;
+  int beyond = 0;
+  set.lane(0).schedule_at(1'000, [&] { ++at_deadline; });
+  set.lane(1).schedule_at(1'001, [&] { ++beyond; });
+  set.run_until(1'000);
+  EXPECT_EQ(at_deadline, 1);  // events at exactly the deadline run
+  EXPECT_EQ(beyond, 0);       // later events stay queued
+  EXPECT_EQ(set.lane(0).now(), 1'000);
+  EXPECT_EQ(set.lane(1).now(), 1'000);
+  set.run_until(2'000);  // a second run picks the queued event up
+  EXPECT_EQ(beyond, 1);
+}
+
+TEST(LaneSetTest, CrossLanePostDeliversAtExactTime) {
+  LaneSet set(2);
+  set.register_link(0, 1, 500);
+  Time delivered_at = -1;
+  // Lane 0's event at t=100 posts a delivery at t=601 (> now + lookahead).
+  set.lane(0).schedule_at(100, [&] {
+    set.post(0, 1, 601, [&] { delivered_at = set.lane(1).now(); });
+  });
+  set.run_until(10'000);
+  EXPECT_EQ(delivered_at, 601);
+  EXPECT_EQ(set.messages_posted(), 1u);
+  EXPECT_EQ(set.inbox_spills(), 0u);
+}
+
+// An arrival landing exactly on a window edge must execute in that
+// window (run_until is inclusive), and one just past it in the next.
+TEST(LaneSetTest, EventsExactlyOnWindowBoundary) {
+  LaneSet set(2);
+  set.register_link(0, 1, 500);
+  // First window: t_min = 1000 (lane 0), window_end = 1500.
+  std::vector<Time> log;
+  set.lane(0).schedule_at(1'000, [&] { log.push_back(set.lane(0).now()); });
+  set.lane(1).schedule_at(1'500, [&] {  // exactly on the edge
+    log.push_back(set.lane(1).now());
+  });
+  set.lane(1).schedule_at(1'501, [&] {  // first instant past the edge
+    log.push_back(set.lane(1).now());
+  });
+  set.run_until(10'000);
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], 1'000);
+  EXPECT_EQ(log[1], 1'500);
+  EXPECT_EQ(log[2], 1'501);
+  EXPECT_GE(set.windows_run(), 2u);
+}
+
+// Zero propagation degenerates to single-instant lockstep windows; a
+// cross-lane ping-pong 100 hops deep must complete without deadlock.
+TEST(LaneSetTest, ZeroPropagationLockstepPingPong) {
+  LaneSet set(2);
+  set.register_link(0, 1, 0);
+  EXPECT_EQ(set.lookahead(), 0);
+  int hops = 0;
+  // InlineFn cannot capture a recursive lambda by value; use a small
+  // struct so each hop re-posts the next one.
+  struct Hopper {
+    LaneSet* set;
+    int* hops;
+    void hop(int from, int to) {
+      ++*hops;
+      if (*hops >= 100) return;
+      // Serialization >= 1ns keeps arrivals strictly in the future even
+      // with zero lookahead; model that with now() + 1.
+      Time at = set->lane(from).now() + 1;
+      Hopper next{set, hops};
+      set->post(from, to, at, [next, to, from]() mutable {
+        next.hop(to, from);
+      });
+    }
+  };
+  set.lane(0).schedule_at(5, [&set, &hops] {
+    Hopper start{&set, &hops};
+    start.hop(0, 1);
+  });
+  set.run_until(1'000);
+  EXPECT_EQ(hops, 100);
+  // Lockstep: every hop instant needs its own window.
+  EXPECT_GE(set.windows_run(), 99u);
+  EXPECT_EQ(set.lane(0).now(), 1'000);
+  EXPECT_EQ(set.lane(1).now(), 1'000);
+}
+
+// A lane with no registered links cannot interact with anyone; it is
+// excluded from the window protocol and free-runs to the deadline.
+TEST(LaneSetTest, PeerlessLaneFreeRuns) {
+  LaneSet set(3);
+  set.register_link(0, 1, 500);
+  std::vector<Time> log;
+  for (int i = 1; i <= 10; ++i) {
+    set.lane(2).schedule_at(i * 100, [&log, &set] {
+      log.push_back(set.lane(2).now());
+    });
+  }
+  // Give the linked pair some work too.
+  int linked_events = 0;
+  set.lane(0).schedule_at(250, [&] { ++linked_events; });
+  set.run_until(5'000);
+  ASSERT_EQ(log.size(), 10u);
+  for (int i = 1; i <= 10; ++i) {
+    EXPECT_EQ(log[static_cast<size_t>(i - 1)], i * 100);
+  }
+  EXPECT_EQ(linked_events, 1);
+  EXPECT_EQ(set.lane(2).now(), 5'000);
+}
+
+TEST(LaneSetTest, NoLinksAtAllStillRuns) {
+  LaneSet set(4);
+  int ran = 0;
+  for (int i = 0; i < 4; ++i) {
+    set.lane(i).schedule_at(10 * (i + 1), [&] { ++ran; });
+  }
+  set.run_until(1'000);
+  EXPECT_EQ(ran, 4);
+  EXPECT_EQ(set.windows_run(), 0u);  // nothing to synchronize
+}
+
+// ---------------------------------------------- cross-thread determinism
+
+/// A deterministic 4-lane ring workload: every lane ticks periodically,
+/// logging its clock and posting a delivery to its ring successor. Each
+/// lane's log is written only by that lane's events, so two runs are
+/// byte-comparable.
+struct RingWorkload {
+  explicit RingWorkload(int lanes) : set(lanes), logs(lanes) {
+    for (int i = 0; i < lanes; ++i) {
+      set.register_link(i, (i + 1) % lanes, 500);
+    }
+  }
+
+  void tick(int lane, Time at, Time stop) {
+    set.lane(lane).schedule_at(at, [this, lane, at, stop] {
+      auto& log = logs[static_cast<size_t>(lane)];
+      log.push_back(set.lane(lane).now());
+      const int dst = (lane + 1) % set.num_lanes();
+      // Strictly beyond now + lookahead; skew per lane so arrival times
+      // collide across sources at the destination now and then.
+      const Time arrival = set.lane(lane).now() + 501 + (lane % 3);
+      set.post(lane, dst, arrival, [this, dst] {
+        logs[static_cast<size_t>(dst)].push_back(
+            1'000'000'000 + set.lane(dst).now());
+      });
+      if (at + 300 <= stop) tick(lane, at + 300, stop);
+    });
+  }
+
+  void run(int threads) {
+    for (int i = 0; i < set.num_lanes(); ++i) tick(i, 100 + i * 7, 30'000);
+    set.run_until(40'000, threads);
+  }
+
+  LaneSet set;
+  std::vector<std::vector<std::int64_t>> logs;
+};
+
+TEST(LaneSetTest, ThreadCountDoesNotChangeTheSimulation) {
+  RingWorkload serial(4);
+  serial.run(1);
+  RingWorkload parallel(4);
+  parallel.run(4);
+  ASSERT_GT(serial.set.messages_posted(), 100u);
+  EXPECT_EQ(serial.set.events_executed(), parallel.set.events_executed());
+  EXPECT_EQ(serial.set.messages_posted(), parallel.set.messages_posted());
+  EXPECT_EQ(serial.set.windows_run(), parallel.set.windows_run());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(serial.logs[static_cast<size_t>(i)],
+              parallel.logs[static_cast<size_t>(i)])
+        << "lane " << i << " diverged between 1 and 4 threads";
+  }
+}
+
+TEST(LaneSetTest, OversubscribedThreadCountClampsToLanes) {
+  RingWorkload a(2);
+  a.run(1);
+  RingWorkload b(2);
+  b.run(16);  // clamps to 2 lanes
+  EXPECT_EQ(a.set.events_executed(), b.set.events_executed());
+  EXPECT_EQ(a.logs, b.logs);
+}
+
+// Inbox overflow (ring -> spill path) must stay lossless and ordered:
+// one event posts more messages than the ring can hold.
+TEST(LaneSetTest, InboxSpillIsLossless) {
+  LaneSet set(2);
+  set.register_link(0, 1, 500);
+  std::vector<int> received;
+  set.lane(0).schedule_at(100, [&] {
+    for (int i = 0; i < 3'000; ++i) {  // default ring is 1024 deep
+      set.post(0, 1, 601 + i, [&received, i] { received.push_back(i); });
+    }
+  });
+  set.run_until(10'000);
+  EXPECT_GT(set.inbox_spills(), 0u);
+  ASSERT_EQ(received.size(), 3'000u);
+  for (int i = 0; i < 3'000; ++i) {
+    EXPECT_EQ(received[static_cast<size_t>(i)], i);
+  }
+}
+
+}  // namespace
+}  // namespace prism::sim
