@@ -28,7 +28,10 @@
 #include "bench_util.h"
 #include "harness/cluster.h"
 #include "harness/testbed.h"
+#include "sim/lane_profiler.h"
 #include "telemetry/json_writer.h"
+#include "telemetry/rollup.h"
+#include "telemetry/span_tracer.h"
 
 using namespace prism;
 
@@ -111,14 +114,62 @@ struct ClusterPoint {
   double events_per_sec() const { return wall_s > 0 ? events / wall_s : 0; }
 };
 
+/// What a profiled run leaves behind after the cluster is gone: the
+/// "prism/lanes" document for the result file, a rendered per-lane
+/// imbalance table for stdout, and the sampled rounds as a Chrome trace
+/// (one window track + one barrier-stall track per lane).
+struct ProfiledCapture {
+  std::string lanes_json;
+  std::string table;
+  std::string trace_json;
+};
+
+/// Renders the profiler's per-lane totals as the lane-imbalance table
+/// (who did the work, who set the pace).
+std::string render_lane_table(const sim::LaneProfiler& p) {
+  std::string out;
+  char line[160];
+  const std::uint64_t rounds = p.rounds_recorded();
+  std::snprintf(line, sizeof(line),
+                "%-5s %12s %10s %9s %11s %7s %10s\n", "lane", "events",
+                "busy_ms", "crit%", "inbox_msgs", "spills", "high_water");
+  out += line;
+  for (int i = 0; i < p.num_lanes(); ++i) {
+    const auto& l = p.lane(i);
+    std::snprintf(
+        line, sizeof(line), "%-5d %12llu %10.2f %8.1f%% %11llu %7llu %10u\n",
+        i, static_cast<unsigned long long>(l.events),
+        static_cast<double>(l.busy_ns) / 1e6,
+        rounds > 0 ? 100.0 * static_cast<double>(l.critical_rounds) /
+                         static_cast<double>(rounds)
+                   : 0.0,
+        static_cast<unsigned long long>(l.inbox_msgs),
+        static_cast<unsigned long long>(l.inbox_spills),
+        l.inbox_high_water);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line),
+                "busy imbalance (max/mean)=%.2f  event imbalance=%.2f  "
+                "rounds=%llu  (busy_ms sampled 1/%llu rounds)\n",
+                p.busy_imbalance(), p.event_imbalance(),
+                static_cast<unsigned long long>(rounds),
+                static_cast<unsigned long long>(p.sample_every()));
+  out += line;
+  return out;
+}
+
 /// One timed cluster run: `pairs` client/server pairs (2*pairs lanes) on
 /// `threads` OS threads. The timed section covers the whole run
 /// (warmup + measurement + drain), matching perf_smoke's convention.
-ClusterPoint run_cluster(int pairs, int threads) {
+/// `capture` non-null enables the lane profiler for this run (kept out of
+/// the timed sweep points so the scaling curve stays profiler-free).
+ClusterPoint run_cluster(int pairs, int threads,
+                         ProfiledCapture* capture = nullptr) {
   harness::ClusterConfig cc;
   cc.pairs = pairs;
   cc.mode = kernel::NapiMode::kPrismSync;
   harness::Cluster cluster(cc);
+  if (capture != nullptr) cluster.enable_lane_profiler();
 
   std::vector<PairApps> apps_by_pair;
   for (int p = 0; p < pairs; ++p) {
@@ -163,6 +214,13 @@ ClusterPoint run_cluster(int pairs, int threads) {
   r.spills = cluster.lanes().inbox_spills();
   for (int i = 0; i < cluster.num_hosts(); ++i) {
     r.per_lane_events.push_back(cluster.lanes().lane(i).events_executed());
+  }
+  if (capture != nullptr) {
+    capture->lanes_json = cluster.proc_read("prism/lanes");
+    capture->table = render_lane_table(*cluster.lane_profiler());
+    telemetry::SpanTracer tracer;
+    cluster.export_lane_trace(tracer);
+    capture->trace_json = tracer.export_chrome_trace("perf_parallel");
   }
   return r;
 }
@@ -289,21 +347,30 @@ int main(int argc, char** argv) {
       }
       const double speedup =
           base.wall_s > 0 && p.wall_s > 0 ? base.wall_s / p.wall_s : 0.0;
+      const bool advisory = hw > 0 && static_cast<unsigned>(threads) > hw;
       std::printf(
           "hosts=%d threads=%d  wall=%7.3fs  events=%10llu  "
           "ev/s=%12.0f  speedup=%.2fx  windows=%llu  msgs=%llu  "
-          "spills=%llu\n",
+          "spills=%llu%s\n",
           lanes, threads, p.wall_s,
           static_cast<unsigned long long>(p.events), p.events_per_sec(),
           speedup, static_cast<unsigned long long>(p.windows),
           static_cast<unsigned long long>(p.messages),
-          static_cast<unsigned long long>(p.spills));
+          static_cast<unsigned long long>(p.spills),
+          advisory ? "  (advisory: threads > cores)" : "");
       points.push_back(std::move(p));
     }
     std::printf("\n");
   }
   std::printf("determinism across thread counts: %s\n",
               deterministic ? "OK" : "** DIVERGED **");
+
+  // One profiled 4-host run (not part of the timed sweep): where the
+  // wall-clock goes per lane, and who bounded each round's fixpoint.
+  ProfiledCapture capture;
+  run_cluster(2, 4, &capture);
+  std::printf("\nlane profile (4 hosts, 4 threads):\n%s",
+              capture.table.c_str());
   const std::uint64_t rss = peak_rss_bytes();
   std::printf("peak RSS=%.1f MiB\n", static_cast<double>(rss) / (1 << 20));
 
@@ -341,6 +408,11 @@ int main(int argc, char** argv) {
     w.member("messages_posted", p.messages);
     w.member("windows_run", p.windows);
     w.member("inbox_spills", p.spills);
+    // Oversubscribed points (more threads than real cores) measure
+    // contention, not scaling; bench_check skips advisory points.
+    if (hw > 0 && static_cast<unsigned>(p.threads) > hw) {
+      w.member("advisory", true);
+    }
     w.key("per_lane_events_per_sec");
     w.begin_array();
     for (std::uint64_t ev : p.per_lane_events) {
@@ -354,6 +426,7 @@ int main(int argc, char** argv) {
   w.begin_object();
   w.member("events_match_across_threads", deterministic);
   w.end_object();
+  w.key("lanes").raw(capture.lanes_json);
   w.member("peak_rss_bytes", rss);
   w.end_object();
 
@@ -366,5 +439,18 @@ int main(int argc, char** argv) {
   std::fputc('\n', out);
   std::fclose(out);
   std::printf("wrote %s\n", out_path);
+
+  // The profiled run's sampled rounds as a Chrome trace (Perfetto /
+  // chrome://tracing): per-lane window and barrier-stall tracks.
+  const char* trace_path = std::getenv("PRISM_LANE_TRACE_OUT");
+  if (trace_path == nullptr) trace_path = "lane_trace.json";
+  if (std::FILE* tf = std::fopen(trace_path, "w")) {
+    std::fputs(capture.trace_json.c_str(), tf);
+    std::fputc('\n', tf);
+    std::fclose(tf);
+    std::printf("wrote %s\n", trace_path);
+  } else {
+    std::fprintf(stderr, "perf_parallel: cannot write %s\n", trace_path);
+  }
   return 0;
 }

@@ -21,10 +21,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/sockperf.h"
 #include "bench_util.h"
+#include "harness/cluster.h"
 #include "harness/testbed.h"
 #include "kernel/skb_pool.h"
 #include "sim/pool.h"
@@ -202,6 +204,75 @@ PointResult best_of(double bg_rate_pps, sim::Duration duration, int reps,
   return best;
 }
 
+/// One lane-engine run for the profiler-overhead A/B: a single pair
+/// (2 lanes) driven by one OS thread under the fig11 high-load workload,
+/// with or without the lane profiler attached. Single-threaded so the
+/// measured difference is pure recording cost (clock reads + ring
+/// stores), not barrier-timing noise.
+double run_lane_point_events_per_sec(bool profiled) {
+  harness::ClusterConfig cc;
+  cc.pairs = 1;
+  cc.mode = kernel::NapiMode::kPrismSync;
+  harness::Cluster cluster(cc);
+  if (profiled) cluster.enable_lane_profiler();
+
+  const sim::Duration warmup = sim::milliseconds(50);
+  const sim::Time t_end = warmup + sim::milliseconds(200);
+
+  auto& cli_probe_ns = cluster.add_client_container(0, "probe-cli");
+  auto& cli_bg_ns = cluster.add_client_container(0, "bg-cli");
+  auto& srv_probe_ns = cluster.add_server_container(0, "probe-srv");
+  auto& srv_bg_ns = cluster.add_server_container(0, "bg-srv");
+  cluster.server(0).priority_db().add(srv_probe_ns.ip(), kProbePort);
+  cluster.client(0).priority_db().add(cli_probe_ns.ip(), kProbeSrcPort);
+
+  apps::SockperfServer probe_server(
+      cluster.server_sim(0), {&cluster.server(0), &srv_probe_ns,
+                              &cluster.server(0).cpu(1), kProbePort});
+  apps::SockperfServer bg_server(
+      cluster.server_sim(0),
+      {&cluster.server(0), &srv_bg_ns, &cluster.server(0).cpu(2), kBgPort});
+
+  apps::SockperfClient::Config probe_cfg;
+  probe_cfg.host = &cluster.client(0);
+  probe_cfg.ns = &cli_probe_ns;
+  probe_cfg.cpus = {&cluster.client(0).cpu(1)};
+  probe_cfg.base_src_port = kProbeSrcPort;
+  probe_cfg.dst_ip = srv_probe_ns.ip();
+  probe_cfg.dst_port = kProbePort;
+  probe_cfg.rate_pps = 1000.0;
+  probe_cfg.payload_size = 64;
+  probe_cfg.reply_every = 1;
+  probe_cfg.start_at = warmup;
+  probe_cfg.stop_at = t_end;
+  apps::SockperfClient probe_client(cluster.client_sim(0), probe_cfg);
+
+  apps::SockperfClient::Config bg_cfg;
+  bg_cfg.host = &cluster.client(0);
+  bg_cfg.ns = &cli_bg_ns;
+  bg_cfg.cpus = {&cluster.client(0).cpu(2), &cluster.client(0).cpu(3)};
+  bg_cfg.base_src_port = kBgSrcBase;
+  bg_cfg.dst_ip = srv_bg_ns.ip();
+  bg_cfg.dst_port = kBgPort;
+  bg_cfg.rate_pps = kHighLoadKpps * 1e3;
+  bg_cfg.payload_size = 64;
+  bg_cfg.burst = 64;
+  bg_cfg.reply_every = 0;
+  bg_cfg.start_at = 0;
+  bg_cfg.stop_at = t_end;
+  apps::SockperfClient bg_client(cluster.client_sim(0), bg_cfg);
+
+  probe_client.start();
+  bg_client.start();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  cluster.run_until(t_end + sim::milliseconds(20), 1);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall = std::chrono::duration<double>(t1 - t0).count();
+  const std::uint64_t events = cluster.lanes().events_executed();
+  return wall > 0 ? static_cast<double>(events) / wall : 0;
+}
+
 /// Peak resident set size in bytes (VmHWM from /proc/self/status); 0 when
 /// unavailable (non-Linux).
 std::uint64_t peak_rss_bytes() {
@@ -278,6 +349,20 @@ int main(int argc, char** argv) {
       best_of(kHighLoadKpps * 1e3, sim::milliseconds(200), kRepsPerPoint,
               /*full_telemetry=*/true, &telemetry_block);
 
+  // A/B: lane-profiler recording cost on the lane engine (one pair, one
+  // thread, same high-load workload), interleaved so machine noise hits
+  // both arms alike. Target: <= 3%, same budget as the telemetry layer.
+  double lane_off_eps = 0;
+  double lane_on_eps = 0;
+  for (int i = 0; i < kRepsPerPoint; ++i) {
+    const double off = run_lane_point_events_per_sec(false);
+    if (off > lane_off_eps) lane_off_eps = off;
+    const double on = run_lane_point_events_per_sec(true);
+    if (on > lane_on_eps) lane_on_eps = on;
+  }
+  const double profiler_overhead =
+      lane_off_eps > 0 ? 1.0 - lane_on_eps / lane_off_eps : 0.0;
+
   const PointResult& high = sweep.back();
   const double speedup = high.events_per_sec() / kSeedEventsPerSec;
   const double telem_overhead =
@@ -293,6 +378,12 @@ int main(int argc, char** argv) {
               telem_on.events_per_sec(), telem_overhead * 100.0,
               kTelemetryOverheadTarget * 100.0,
               telem_overhead <= kTelemetryOverheadTarget ? "" : "  ** OVER **");
+  std::printf(
+      "lane-profiler off ev/s=%.0f  on ev/s=%.0f  overhead=%.2f%% "
+      "(target <= %.0f%%)%s\n",
+      lane_off_eps, lane_on_eps, profiler_overhead * 100.0,
+      kTelemetryOverheadTarget * 100.0,
+      profiler_overhead <= kTelemetryOverheadTarget ? "" : "  ** OVER **");
   std::printf("peak RSS=%.1f MiB\n", static_cast<double>(rss) / (1 << 20));
 
   const char* out_path = std::getenv("PRISM_BENCH_OUT");
@@ -303,6 +394,8 @@ int main(int argc, char** argv) {
   w.begin_object();
   w.member("bench", "perf_smoke");
   w.member("mode", "prism_sync");
+  w.member("hardware_concurrency",
+           static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
   w.member("base_sim_ms_per_point", 200);
   w.member("min_events_per_point", kMinEventsPerPoint);
   w.member("reps_per_point", kRepsPerPoint);
@@ -337,6 +430,15 @@ int main(int argc, char** argv) {
   w.member("overhead_fraction", telem_overhead);
   w.member("target_fraction", kTelemetryOverheadTarget);
   w.member("within_target", telem_overhead <= kTelemetryOverheadTarget);
+  w.end_object();
+  w.key("lane_profiler_overhead");
+  w.begin_object();
+  w.member("compiled_in", static_cast<bool>(PRISM_TELEMETRY_ENABLED));
+  w.member("baseline_events_per_sec", lane_off_eps);
+  w.member("profiled_events_per_sec", lane_on_eps);
+  w.member("overhead_fraction", profiler_overhead);
+  w.member("target_fraction", kTelemetryOverheadTarget);
+  w.member("within_target", profiler_overhead <= kTelemetryOverheadTarget);
   w.end_object();
   w.key("overload");
   w.begin_object();

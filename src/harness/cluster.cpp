@@ -2,6 +2,11 @@
 
 #include <stdexcept>
 
+#include "sim/lane_profiler.h"
+#include "telemetry/json_writer.h"
+#include "telemetry/latency.h"
+#include "telemetry/rollup.h"
+
 namespace prism::harness {
 
 namespace {
@@ -62,6 +67,127 @@ Cluster::Cluster(const ClusterConfig& config)
     pair.server->add_neighbor(pair.client->ip(), pair.client->mac());
     pairs_.push_back(std::move(pair));
   }
+}
+
+Cluster::~Cluster() {
+  // The engine borrows the profiler; detach before it is destroyed.
+  lanes_.set_profiler(nullptr);
+}
+
+sim::LaneProfiler& Cluster::enable_lane_profiler(std::size_t round_capacity,
+                                                 std::uint64_t sample_every) {
+  if (!profiler_) {
+    profiler_ = std::make_unique<sim::LaneProfiler>(
+        round_capacity == 0 ? sim::LaneProfiler::kDefaultRoundCapacity
+                            : round_capacity,
+        sample_every == 0 ? sim::LaneProfiler::kDefaultSampleEvery
+                          : sample_every);
+    lanes_.set_profiler(profiler_.get());
+  }
+  return *profiler_;
+}
+
+void Cluster::export_lane_trace(telemetry::SpanTracer& tracer,
+                                int track_base) const {
+  if (profiler_) telemetry::export_lane_trace(*profiler_, tracer, track_base);
+}
+
+std::string Cluster::proc_read(std::string_view path) {
+  if (path == "prism/lanes") return telemetry::lanes_json(profiler_.get());
+  if (path == "prism/cluster") return cluster_json();
+  if (path == "prism/telemetry/index") {
+    std::string out;
+    for (const std::string& p : proc_paths()) {
+      out += p;
+      out += '\n';
+    }
+    return out;
+  }
+  return "";
+}
+
+std::vector<std::string> Cluster::proc_paths() const {
+  return {"prism/cluster", "prism/lanes", "prism/telemetry/index"};
+}
+
+std::string Cluster::cluster_json() {
+  telemetry::JsonWriter w;
+  w.begin_object();
+  w.member("pairs", static_cast<std::int64_t>(pairs()));
+  w.member("hosts", static_cast<std::int64_t>(num_hosts()));
+
+  std::vector<const telemetry::Registry*> regs;
+  std::vector<const telemetry::LatencyLedger*> ledgers;
+  regs.reserve(static_cast<std::size_t>(num_hosts()));
+  ledgers.reserve(static_cast<std::size_t>(num_hosts()));
+  for (Pair& p : pairs_) {
+    regs.push_back(&p.client->metrics());
+    regs.push_back(&p.server->metrics());
+    ledgers.push_back(&p.client->latency_ledger());
+    ledgers.push_back(&p.server->latency_ledger());
+  }
+  w.key("registry");
+  telemetry::write_merged_registry_json(w, regs);
+  w.key("latency");
+  telemetry::write_merged_latency_json(w, ledgers);
+
+  w.key("pair_summaries").begin_array();
+  for (int i = 0; i < pairs(); ++i) {
+    Pair& p = pairs_[static_cast<std::size_t>(i)];
+    w.begin_object();
+    w.member("pair", static_cast<std::int64_t>(i));
+    w.member("client", p.client->name());
+    w.member("server", p.server->name());
+    // Both endpoints' ledgers summed: the pair's whole loss budget.
+    w.key("drops").begin_object();
+    std::uint64_t total = 0;
+    for (int r = 0; r < fault::kNumDropReasons; ++r) {
+      total += p.client->faults().drops.total(
+                   static_cast<fault::DropReason>(r)) +
+               p.server->faults().drops.total(
+                   static_cast<fault::DropReason>(r));
+    }
+    w.member("total", total);
+    w.key("by_reason").begin_object();
+    for (int r = 0; r < fault::kNumDropReasons; ++r) {
+      const auto reason = static_cast<fault::DropReason>(r);
+      const std::uint64_t n = p.client->faults().drops.total(reason) +
+                              p.server->faults().drops.total(reason);
+      if (n != 0) w.member(fault::drop_reason_name(reason), n);
+    }
+    w.end_object();
+    w.key("by_class").begin_array();
+    for (int c = 0; c < fault::kNumFaultClasses; ++c) {
+      w.value(p.client->faults().drops.class_total(c) +
+              p.server->faults().drops.class_total(c));
+    }
+    w.end_array();
+    w.end_object();
+    // The server is the loaded end (clients spread flows over all
+    // cores); its governor is the pair's overload story.
+    const kernel::OverloadGovernor& gov = p.server->governor();
+    w.key("overload")
+        .begin_object()
+        .member("state", kernel::to_string(gov.state()))
+        .member("entries", gov.entries())
+        .member("exits", gov.exits())
+        .member("livelocks", gov.livelocks())
+        .end_object();
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("engine")
+      .begin_object()
+      .member("lanes", static_cast<std::int64_t>(lanes_.num_lanes()))
+      .member("windows_run", lanes_.windows_run())
+      .member("messages_posted", lanes_.messages_posted())
+      .member("inbox_spills", lanes_.inbox_spills())
+      .end_object();
+  w.key("lanes");
+  telemetry::write_lanes_json(w, profiler_.get());
+  w.end_object();
+  return w.take();
 }
 
 overlay::Netns& Cluster::add_client_container(int pair,

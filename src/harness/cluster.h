@@ -14,12 +14,20 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "kernel/host.h"
 #include "nic/wire.h"
 #include "overlay/overlay_network.h"
 #include "sim/lane.h"
+
+namespace prism::sim {
+class LaneProfiler;
+}
+namespace prism::telemetry {
+class SpanTracer;
+}
 
 namespace prism::harness {
 
@@ -49,6 +57,7 @@ struct ClusterConfig {
 class Cluster {
  public:
   explicit Cluster(const ClusterConfig& config = ClusterConfig{});
+  ~Cluster();
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
@@ -83,6 +92,40 @@ class Cluster {
     lanes_.run_until(deadline, threads);
   }
 
+  // ---------------------------------------------------------- observability
+  /// Creates (or returns) the cluster's lane profiler and attaches it to
+  /// the lane engine; subsequent run_until calls are profiled. The
+  /// profiler never alters the schedule, so profiled runs stay
+  /// byte-identical to unprofiled ones. `round_capacity` sizes the
+  /// per-round record rings (0 = LaneProfiler's default) and
+  /// `sample_every` the wall-clock sampling period (0 = default; 1 =
+  /// every round, for tests and fine-grained traces); both ignored when
+  /// the profiler already exists. Under -DPRISM_TELEMETRY=OFF the
+  /// profiler is created but the engine ignores the attach, so every
+  /// reading stays zero.
+  sim::LaneProfiler& enable_lane_profiler(std::size_t round_capacity = 0,
+                                          std::uint64_t sample_every = 0);
+  /// nullptr until enable_lane_profiler() is called.
+  sim::LaneProfiler* lane_profiler() noexcept { return profiler_.get(); }
+
+  /// Replays the profiled rounds into `tracer` as per-lane tracks
+  /// (telemetry::export_lane_trace): lane i's windows on track
+  /// `track_base + 2i`, its barrier stalls on `track_base + 2i + 1`.
+  /// No-op until the profiler is enabled.
+  void export_lane_trace(telemetry::SpanTracer& tracer,
+                         int track_base = 0) const;
+
+  /// Cluster-level proc files (the fleet view over the per-host
+  /// proc() interfaces):
+  ///   prism/lanes           — lane profiler document (telemetry JSON)
+  ///   prism/cluster         — fleet roll-up: merged registries, merged
+  ///                           latency histograms, per-pair drop and
+  ///                           overload summaries, lane-engine totals
+  ///   prism/telemetry/index — these paths, one per line, sorted
+  /// Unknown paths read as "" like ProcInterface::read.
+  std::string proc_read(std::string_view path);
+  std::vector<std::string> proc_paths() const;
+
  private:
   struct Pair {
     std::unique_ptr<kernel::Host> client;
@@ -92,8 +135,14 @@ class Cluster {
     std::uint8_t next_container_ip = 2;
   };
 
+  std::string cluster_json();
+
   sim::LaneSet lanes_;
   std::vector<Pair> pairs_;
+  /// Owned by the cluster, attached to lanes_ (which only borrows it);
+  /// declared after lanes_ yet destroyed first, so the dtor detaches it
+  /// before the engine goes away.
+  std::unique_ptr<sim::LaneProfiler> profiler_;
 };
 
 }  // namespace prism::harness

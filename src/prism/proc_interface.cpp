@@ -1,5 +1,6 @@
 #include "prism/proc_interface.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -9,6 +10,7 @@ namespace {
 
 constexpr std::string_view kPriorityPath = "prism/priority";
 constexpr std::string_view kModePath = "prism/mode";
+constexpr std::string_view kIndexPath = "prism/telemetry/index";
 
 }  // namespace
 
@@ -84,6 +86,16 @@ std::string ProcInterface::read(std::string_view path) const {
   if (path == kPriorityPath) {
     return std::to_string(db_.size());
   }
+  if (path == kIndexPath) {
+    // Built-in (not registered) so a registered reader can never shadow
+    // or omit it; computed per read so late register_file calls show up.
+    std::string out;
+    for (const std::string& p : paths()) {
+      out += p;
+      out += '\n';
+    }
+    return out;
+  }
   if (const auto it = files_.find(path); it != files_.end()) {
     return it->second();
   }
@@ -93,6 +105,16 @@ std::string ProcInterface::read(std::string_view path) const {
 void ProcInterface::register_file(std::string path,
                                   std::function<std::string()> reader) {
   files_[std::move(path)] = std::move(reader);
+}
+
+std::vector<std::string> ProcInterface::paths() const {
+  std::vector<std::string> out{std::string(kModePath),
+                               std::string(kPriorityPath),
+                               std::string(kIndexPath)};
+  for (const auto& [path, reader] : files_) out.push_back(path);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
 }
 
 }  // namespace prism::prism

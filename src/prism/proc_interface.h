@@ -11,6 +11,7 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "kernel/napi.h"
 #include "prism/priority_db.h"
@@ -28,6 +29,11 @@ namespace prism::prism {
 ///                    two.
 ///   prism/mode     — writes: "vanilla", "batch", "sync", "queues";
 ///                    read returns the current mode name.
+///   prism/telemetry/index — read-only: every readable path of this
+///                    interface (built-ins plus registered files), one
+///                    per line, sorted — `ls /proc/prism` for tooling
+///                    that discovers endpoints instead of hard-coding
+///                    them.
 class ProcInterface {
  public:
   ProcInterface(PriorityDb& db,
@@ -47,6 +53,11 @@ class ProcInterface {
   /// writes to registered files fail like a read-only procfs entry.
   void register_file(std::string path,
                      std::function<std::string()> reader);
+
+  /// Every readable path, sorted: the built-in files plus everything
+  /// registered via register_file(). The "prism/telemetry/index" read
+  /// renders exactly this list.
+  std::vector<std::string> paths() const;
 
  private:
   PriorityDb& db_;

@@ -51,6 +51,8 @@
 
 namespace prism::sim {
 
+class LaneProfiler;
+
 /// A set of per-host event lanes advanced through conservative windows.
 class LaneSet {
  public:
@@ -105,6 +107,22 @@ class LaneSet {
   /// spill path (diagnostic: should stay ~0 for well-sized rings).
   std::uint64_t inbox_spills() const;
 
+  /// Per-destination-lane inbox diagnostics (summed/maxed over that
+  /// lane's per-source queues). All three are schedule-deterministic:
+  /// identical at any thread count for the same simulation.
+  std::uint64_t lane_inbox_spills(int dst) const;
+  std::uint64_t lane_inbox_pushed(int dst) const;
+  std::size_t lane_inbox_high_water(int dst) const;
+
+  /// Attaches a wall-clock profiler (sim/lane_profiler.h): every window
+  /// round then records per-lane busy/window/inbox stats and per-worker
+  /// barrier/idle accounting. nullptr detaches; a detached engine pays
+  /// one branch per round. Compiled out (the attach is ignored) under
+  /// -DPRISM_TELEMETRY=OFF. Must not be changed while run_until() is
+  /// executing.
+  void set_profiler(LaneProfiler* profiler) noexcept;
+  LaneProfiler* profiler() const noexcept { return profiler_; }
+
   static constexpr Time kMaxTime = std::numeric_limits<Time>::max();
 
  private:
@@ -123,13 +141,21 @@ class LaneSet {
   };
 
   /// Drains every inbox of lane `dst` into its event queue in
-  /// (arrival, src, seq) order. Consumer-side only.
-  void drain_inboxes(int dst);
+  /// (arrival, src, seq) order. Consumer-side only. Returns the number
+  /// of messages drained (the profiler's inbox-depth sample).
+  std::size_t drain_inboxes(int dst);
 
   /// Computes every linked lane's release time and window horizon (or
   /// sets done_) from next_time_. Runs as the barrier completion step:
   /// exactly one thread, all others parked.
   void compute_window(Time deadline);
+
+  /// Snapshots per-lane engine counters so finish_profiled_run() can
+  /// hand the profiler exact per-run deltas without any hot-path work.
+  void begin_profiled_run();
+  /// Folds the run's per-lane counter deltas (events, sim time, inbox
+  /// traffic/spills) and message total into the attached profiler.
+  void finish_profiled_run();
 
   /// One worker's share of lanes: worker w owns lanes {i : i % threads ==
   /// w}. `barrier` is the run's phase barrier (std::barrier, type-erased
@@ -152,6 +178,19 @@ class LaneSet {
   bool pairwise_ = true;
   Duration lookahead_ = kMaxTime;
   std::atomic<std::uint64_t> messages_{0};
+  LaneProfiler* profiler_ = nullptr;
+  /// [lane] messages drained at the current round's window edge. Each
+  /// entry is written and read only by the lane's owning worker; it
+  /// carries the drain-phase count into the execute phase for the
+  /// profiler's per-round record (written on sampled rounds only).
+  std::vector<std::uint32_t> drained_msgs_;
+  /// Per-lane counter baselines captured by begin_profiled_run() (cold;
+  /// sized lazily on the first profiled run).
+  std::vector<std::uint64_t> run_events0_;
+  std::vector<Time> run_sim0_;
+  std::vector<std::uint64_t> run_msgs0_;
+  std::vector<std::uint64_t> run_spills0_;
+  std::uint64_t run_messages0_ = 0;
 
   // ---- per-run_until window coordination (written by the completion
   // step while all workers are parked at the barrier, read by workers

@@ -41,6 +41,11 @@ class SpscQueue {
   void push(T value) {
     const std::size_t head = head_.load(std::memory_order_relaxed);
     const std::size_t tail = tail_.load(std::memory_order_acquire);
+    pushed_.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t depth = head - tail + 1;
+    if (depth > high_water_.load(std::memory_order_relaxed)) {
+      high_water_.store(depth, std::memory_order_relaxed);
+    }
     if (head - tail < ring_.size()) {
       ring_[head & mask_] = std::move(value);
       head_.store(head + 1, std::memory_order_release);
@@ -87,6 +92,19 @@ class SpscQueue {
     return spilled_.load(std::memory_order_relaxed);
   }
 
+  /// Total elements ever pushed (ring + spill) — the profiler's per-link
+  /// traffic counter. Deterministic for a deterministic schedule.
+  std::uint64_t pushed_count() const noexcept {
+    return pushed_.load(std::memory_order_relaxed);
+  }
+
+  /// Deepest ring occupancy observed at push time (the pushed element
+  /// included; saturates at capacity() + 1 once pushes overflow to the
+  /// spill path). Ring-sizing signal for the profiler.
+  std::size_t high_water() const noexcept {
+    return high_water_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::vector<T> ring_;
   std::size_t mask_ = 0;
@@ -95,6 +113,9 @@ class SpscQueue {
   alignas(64) std::atomic<std::size_t> head_{0};
   alignas(64) std::atomic<std::size_t> tail_{0};
   std::atomic<std::uint64_t> spilled_{0};
+  // Producer-written diagnostics, read cold by the profiler.
+  std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::size_t> high_water_{0};
   std::uint64_t drained_spills_ = 0;  ///< consumer-private
   std::mutex spill_mu_;
   std::vector<T> spill_;

@@ -1,0 +1,226 @@
+#include "telemetry/rollup.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sim/lane_profiler.h"
+#include "stats/histogram.h"
+#include "stats/summary.h"
+#include "telemetry/json_writer.h"
+#include "telemetry/span_tracer.h"
+
+namespace prism::telemetry {
+
+std::vector<CounterSample> merge_counters(
+    const std::vector<const Registry*>& registries) {
+  std::vector<CounterSample> merged;
+  std::unordered_map<std::string, std::size_t> index;
+  for (const Registry* r : registries) {
+    if (r == nullptr) continue;
+    for (const CounterSample& c : r->counters()) {
+      const auto [it, fresh] = index.emplace(c.name, merged.size());
+      if (fresh) {
+        merged.push_back(c);
+      } else {
+        merged[it->second].value += c.value;
+      }
+    }
+  }
+  return merged;
+}
+
+std::vector<GaugeSample> merge_gauges(
+    const std::vector<const Registry*>& registries) {
+  std::vector<GaugeSample> merged;
+  std::unordered_map<std::string, std::size_t> index;
+  for (const Registry* r : registries) {
+    if (r == nullptr) continue;
+    for (const GaugeSample& g : r->gauges()) {
+      const auto [it, fresh] = index.emplace(g.name, merged.size());
+      if (fresh) {
+        merged.push_back(g);
+      } else {
+        GaugeSample& m = merged[it->second];
+        m.value += g.value;
+        m.max_value += g.max_value;
+      }
+    }
+  }
+  return merged;
+}
+
+void write_merged_registry_json(
+    JsonWriter& w, const std::vector<const Registry*>& registries) {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& c : merge_counters(registries)) w.member(c.name, c.value);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& g : merge_gauges(registries)) {
+    w.key(g.name)
+        .begin_object()
+        .member("value", g.value)
+        .member("max", g.max_value)
+        .end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void write_merged_latency_json(
+    JsonWriter& w, const std::vector<const LatencyLedger*>& ledgers) {
+  // Merge cell by cell so fleet percentiles come out of one combined
+  // distribution. (stage, class) keys keep the stage-major order
+  // write_latency_json uses. std::map: a handful of cells, cold path.
+  std::map<std::pair<int, int>, stats::Histogram> cells;
+  std::uint64_t unattributed = 0;
+  std::uint64_t dropped_in_flight = 0;
+  std::size_t hosts = 0;
+  for (const LatencyLedger* l : ledgers) {
+    if (l == nullptr) continue;
+    ++hosts;
+    unattributed += l->unattributed();
+    dropped_in_flight += l->dropped_in_flight();
+    for (int s = 0; s < kNumLatencyStages; ++s) {
+      for (int c = 0; c < kNumLatencyClasses; ++c) {
+        const stats::Histogram& h =
+            l->histogram(static_cast<LatencyStage>(s), c);
+        if (h.count() == 0) continue;
+        auto [it, fresh] = cells.try_emplace(
+            std::make_pair(s, c), stats::Histogram(h.sub_bucket_bits()));
+        it->second.merge(h);
+      }
+    }
+  }
+  w.begin_object();
+  w.member("hosts", static_cast<std::uint64_t>(hosts));
+  w.member("unattributed", unattributed);
+  w.member("dropped_in_flight", dropped_in_flight);
+  w.key("stages").begin_array();
+  for (const auto& [key, h] : cells) {
+    const stats::LatencySummary s = stats::summarize(h);
+    w.begin_object();
+    w.member("stage",
+             latency_stage_name(static_cast<LatencyStage>(key.first)));
+    w.member("class", static_cast<std::int64_t>(key.second));
+    w.member("count", s.count);
+    w.member("min_ns", s.min_ns);
+    w.member("mean_ns", s.mean_ns);
+    w.member("p50_ns", s.p50_ns);
+    w.member("p90_ns", s.p90_ns);
+    w.member("p99_ns", s.p99_ns);
+    w.member("max_ns", s.max_ns);
+    w.member("sum_ns", h.sum());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+void write_lanes_json(JsonWriter& w, const sim::LaneProfiler* profiler) {
+  w.begin_object();
+  const bool compiled_in = PRISM_TELEMETRY_ENABLED != 0;
+  w.member("compiled_in", compiled_in);
+  if (profiler == nullptr || profiler->num_lanes() == 0) {
+    w.member("attached", profiler != nullptr);
+    w.member("rounds", std::uint64_t{0});
+    w.end_object();
+    return;
+  }
+  const sim::LaneProfiler& p = *profiler;
+  w.member("attached", true);
+  w.member("rounds", p.rounds_recorded());
+  w.member("sample_every", p.sample_every());
+  w.member("messages_posted", p.messages_posted());
+  w.member("busy_imbalance", p.busy_imbalance());
+  w.member("event_imbalance", p.event_imbalance());
+  w.key("lanes").begin_array();
+  for (int i = 0; i < p.num_lanes(); ++i) {
+    const auto& l = p.lane(i);
+    w.begin_object();
+    w.member("lane", static_cast<std::int64_t>(i));
+    w.member("events", l.events);
+    w.member("sampled_rounds", l.sampled_rounds);
+    w.member("busy_ns", l.busy_ns);
+    w.member("sim_ns", static_cast<std::int64_t>(l.sim_ns));
+    w.member("inbox_msgs", l.inbox_msgs);
+    w.member("inbox_high_water",
+             static_cast<std::uint64_t>(l.inbox_high_water));
+    w.member("inbox_spills", l.inbox_spills);
+    w.member("critical_rounds", l.critical_rounds);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("workers").begin_array();
+  for (int i = 0; i < p.num_workers(); ++i) {
+    const auto& t = p.worker(i);
+    w.begin_object();
+    w.member("worker", static_cast<std::int64_t>(i));
+    w.member("rounds", t.rounds);
+    w.member("wall_ns", t.wall_ns);
+    w.member("barrier_wait_ns", t.barrier_wait_ns);
+    w.member("busy_ns", t.busy_ns);
+    w.member("idle_ns", t.idle_ns());
+    w.end_object();
+  }
+  w.end_array();
+  w.key("round_records")
+      .begin_object()
+      .member("lane_retained",
+              static_cast<std::uint64_t>(p.lane_round_count()))
+      .member("lane_dropped", p.lane_rounds_dropped())
+      .member("worker_retained",
+              static_cast<std::uint64_t>(p.worker_round_count()))
+      .member("worker_dropped", p.worker_rounds_dropped())
+      .end_object();
+  w.end_object();
+}
+
+std::string lanes_json(const sim::LaneProfiler* profiler) {
+  JsonWriter w;
+  write_lanes_json(w, profiler);
+  return w.take();
+}
+
+void export_lane_trace(const sim::LaneProfiler& profiler, SpanTracer& tracer,
+                       int track_base) {
+  const auto window_id = tracer.intern("window");
+  const auto stall_id = tracer.intern("barrier_stall");
+  for (int i = 0; i < profiler.num_lanes(); ++i) {
+    const std::string lane = "lane" + std::to_string(i);
+    tracer.set_track_label(track_base + 2 * i, lane + ".window");
+    tracer.set_track_label(track_base + 2 * i + 1, lane + ".stall");
+  }
+  // Worker barrier waits by (round, worker), so each lane's stall track
+  // shows the wait of the worker that ran it that round. Export-time
+  // allocation is fine: this is a cold path over retained records.
+  std::map<std::pair<std::uint64_t, std::uint32_t>, std::uint64_t> stalls;
+  for (std::size_t i = 0; i < profiler.worker_round_count(); ++i) {
+    const auto& r = profiler.worker_round(i);
+    stalls[{r.round, r.worker}] = r.barrier_wait_ns;
+  }
+  for (std::size_t i = 0; i < profiler.lane_round_count(); ++i) {
+    const auto& r = profiler.lane_round(i);
+    const int lane = static_cast<int>(r.lane);
+    const sim::Duration len =
+        r.window_end > r.window_start ? r.window_end - r.window_start : 0;
+    tracer.span(track_base + 2 * lane, window_id, r.window_start, len,
+                static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                    r.events, UINT32_MAX)),
+                static_cast<std::uint32_t>(std::min<std::uint64_t>(
+                    r.busy_ns, UINT32_MAX)));
+    const auto it = stalls.find({r.round, r.worker});
+    if (it != stalls.end() && it->second > 0) {
+      // Wall-clock stall duration drawn on the sim-time axis, anchored
+      // at the window edge the worker was waiting to cross.
+      tracer.span(track_base + 2 * lane + 1, stall_id, r.window_end,
+                  static_cast<sim::Duration>(it->second));
+    }
+  }
+}
+
+}  // namespace prism::telemetry

@@ -1,0 +1,182 @@
+// Cluster-level observability: a profiled 4-host / 4-thread run must
+// populate the "prism/lanes" and "prism/cluster" proc documents, the
+// cluster roll-up must equal the sum of the per-host snapshots, the
+// profiled rounds must export as per-lane Chrome-trace tracks, and
+// profiling must not perturb the simulation. Under -DPRISM_TELEMETRY=OFF
+// the same surfaces stay readable but report compiled_in:false with all
+// readings zero — the CI telemetry-off job runs this suite to prove it.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/sockperf.h"
+#include "harness/cluster.h"
+#include "sim/lane_profiler.h"
+#include "sim/time.h"
+#include "telemetry/json_writer.h"
+#include "telemetry/metrics.h"
+#include "telemetry/rollup.h"
+#include "telemetry/span_tracer.h"
+
+namespace prism {
+namespace {
+
+constexpr auto npos = std::string::npos;
+
+struct ClusterRig {
+  std::unique_ptr<harness::Cluster> cluster;
+  std::vector<std::unique_ptr<apps::SockperfServer>> servers;
+  std::vector<std::unique_ptr<apps::SockperfClient>> clients;
+
+  /// Two pairs (4 hosts, 4 lanes) under asymmetric sockperf load.
+  explicit ClusterRig(bool profiled, std::uint64_t sample_every = 1) {
+    harness::ClusterConfig cc;
+    cc.pairs = 2;
+    cc.mode = kernel::NapiMode::kPrismSync;
+    cluster = std::make_unique<harness::Cluster>(cc);
+    if (profiled) cluster->enable_lane_profiler(1 << 12, sample_every);
+    for (int p = 0; p < cluster->pairs(); ++p) {
+      auto& cli_ns = cluster->add_client_container(p, "cli");
+      auto& srv_ns = cluster->add_server_container(p, "srv");
+      cluster->server(p).priority_db().add(srv_ns.ip(), 11111);
+      servers.push_back(std::make_unique<apps::SockperfServer>(
+          cluster->server_sim(p),
+          apps::SockperfServer::Config{&cluster->server(p), &srv_ns,
+                                       &cluster->server(p).cpu(1), 11111}));
+      apps::SockperfClient::Config clc;
+      clc.host = &cluster->client(p);
+      clc.ns = &cli_ns;
+      clc.cpus = {&cluster->client(p).cpu(1)};
+      clc.dst_ip = srv_ns.ip();
+      clc.dst_port = 11111;
+      clc.rate_pps = 100'000.0 + 50'000.0 * p;  // lanes advance unevenly
+      clc.reply_every = 4;
+      clc.stop_at = sim::milliseconds(2);
+      clients.push_back(std::make_unique<apps::SockperfClient>(
+          cluster->client_sim(p), clc));
+      clients.back()->start();
+    }
+  }
+
+  void run(int threads) {
+    cluster->run_until(sim::milliseconds(3), threads);
+  }
+};
+
+TEST(ClusterObservabilityTest, LanesProcPopulatedAfterProfiledRun) {
+  ClusterRig rig(/*profiled=*/true);
+  rig.run(4);
+  const std::string doc = rig.cluster->proc_read("prism/lanes");
+  EXPECT_NE(doc.find("\"attached\":true"), npos) << doc;
+#if PRISM_TELEMETRY_ENABLED
+  EXPECT_NE(doc.find("\"compiled_in\":true"), npos) << doc;
+  const sim::LaneProfiler* prof = rig.cluster->lane_profiler();
+  ASSERT_NE(prof, nullptr);
+  EXPECT_GT(prof->rounds_recorded(), 0u);
+  EXPECT_EQ(prof->num_lanes(), 4);
+  std::uint64_t events = 0;
+  for (int i = 0; i < prof->num_lanes(); ++i) {
+    events += prof->lane(i).events;
+  }
+  EXPECT_EQ(events, rig.cluster->lanes().events_executed());
+  EXPECT_GE(prof->busy_imbalance(), 1.0);
+  EXPECT_GE(prof->event_imbalance(), 1.0);
+  EXPECT_NE(doc.find("\"lanes\":[{\"lane\":0"), npos) << doc;
+  EXPECT_NE(doc.find("\"workers\":[{\"worker\":0"), npos) << doc;
+#else
+  // Compiled out: the document is an honest stub, not a lie.
+  EXPECT_NE(doc.find("\"compiled_in\":false"), npos) << doc;
+  EXPECT_NE(doc.find("\"rounds\":0"), npos) << doc;
+#endif
+}
+
+TEST(ClusterObservabilityTest, ClusterRollupEqualsSumOfHostSnapshots) {
+  ClusterRig rig(/*profiled=*/true);
+  rig.run(4);
+  harness::Cluster& c = *rig.cluster;
+  const std::string doc = c.proc_read("prism/cluster");
+  EXPECT_NE(doc.find("\"pairs\":2"), npos) << doc.substr(0, 200);
+  EXPECT_NE(doc.find("\"hosts\":4"), npos);
+  EXPECT_NE(doc.find("\"pair_summaries\":["), npos);
+  EXPECT_NE(doc.find("\"engine\":{"), npos);
+
+  // The embedded registry roll-up must be byte-identical to merging the
+  // four hosts' registries directly...
+  std::vector<const telemetry::Registry*> regs;
+  for (int p = 0; p < c.pairs(); ++p) {
+    regs.push_back(&c.client(p).metrics());
+    regs.push_back(&c.server(p).metrics());
+  }
+  telemetry::JsonWriter w;
+  telemetry::write_merged_registry_json(w, regs);
+  const std::string merged = w.take();
+  EXPECT_NE(doc.find(merged), npos);
+
+  // ...and each merged counter must equal the sum over the per-host
+  // registries it claims to aggregate.
+  for (const auto& m : telemetry::merge_counters(regs)) {
+    std::uint64_t sum = 0;
+    for (const telemetry::Registry* r : regs) {
+      sum += r->counter_value(m.name);
+    }
+    EXPECT_EQ(m.value, sum) << m.name;
+  }
+}
+
+TEST(ClusterObservabilityTest, TelemetryIndexListsClusterSurfaces) {
+  ClusterRig rig(/*profiled=*/false);
+  const std::string idx =
+      rig.cluster->proc_read("prism/telemetry/index");
+  EXPECT_EQ(idx, "prism/cluster\nprism/lanes\nprism/telemetry/index\n");
+  // Unknown paths read as empty, matching ProcInterface::read.
+  EXPECT_EQ(rig.cluster->proc_read("prism/nonsense"), "");
+  // Host-level index: every built-in plus the host's registered files.
+  const std::string host_idx =
+      rig.cluster->server(0).proc().read("prism/telemetry/index");
+  for (const std::string& path : rig.cluster->server(0).proc().paths()) {
+    EXPECT_NE(host_idx.find(path + "\n"), npos) << path;
+  }
+}
+
+TEST(ClusterObservabilityTest, TraceExportCarriesLaneTracks) {
+  ClusterRig rig(/*profiled=*/true);
+  rig.run(4);
+  telemetry::SpanTracer tracer;
+  rig.cluster->export_lane_trace(tracer);
+  const std::string trace = tracer.export_chrome_trace("test");
+#if PRISM_TELEMETRY_ENABLED
+  // One window track and one stall track per lane, with window spans
+  // (and, whenever a worker waited, stall spans) on them.
+  for (int lane = 0; lane < 4; ++lane) {
+    const std::string label = "lane" + std::to_string(lane);
+    EXPECT_NE(trace.find(label + ".window"), npos) << label;
+    EXPECT_NE(trace.find(label + ".stall"), npos) << label;
+  }
+  EXPECT_NE(trace.find("\"name\":\"window\""), npos);
+  EXPECT_GT(tracer.size(), 0u);
+#else
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_EQ(trace.find("lane0.window"), npos);
+#endif
+}
+
+TEST(ClusterObservabilityTest, ProfilingDoesNotPerturbTheSimulation) {
+  ClusterRig profiled(/*profiled=*/true, /*sample_every=*/1);
+  ClusterRig plain(/*profiled=*/false);
+  profiled.run(4);
+  plain.run(1);
+  EXPECT_EQ(profiled.cluster->lanes().events_executed(),
+            plain.cluster->lanes().events_executed());
+  EXPECT_EQ(profiled.cluster->lanes().messages_posted(),
+            plain.cluster->lanes().messages_posted());
+  for (std::size_t i = 0; i < profiled.servers.size(); ++i) {
+    EXPECT_EQ(profiled.servers[i]->received(), plain.servers[i]->received());
+    EXPECT_EQ(profiled.clients[i]->replies(), plain.clients[i]->replies());
+  }
+}
+
+}  // namespace
+}  // namespace prism

@@ -71,9 +71,17 @@ ClusterRun run_cluster(int threads, std::uint64_t seed) {
 
   ClusterRun r;
   auto snap = [](kernel::Host& h) {
-    return h.proc().read("prism/telemetry") + h.proc().read("prism/faults") +
-           h.proc().read("prism/overload") +
-           h.proc().read("net/softnet_stat");
+    // Every proc surface the host exposes, discovered through
+    // prism/telemetry/index instead of a hard-coded list — new surfaces
+    // are covered by this determinism check automatically.
+    std::string all;
+    for (const std::string& path : h.proc().paths()) {
+      all += path;
+      all += '\n';
+      all += h.proc().read(path);
+      all += '\n';
+    }
+    return all;
   };
   for (int p = 0; p < cluster.pairs(); ++p) {
     r.host_snapshots.push_back(snap(cluster.client(p)));

@@ -1,5 +1,8 @@
 #include "prism/proc_interface.h"
 
+#include <algorithm>
+#include <string>
+
 #include <gtest/gtest.h>
 
 namespace prism::prism {
@@ -58,6 +61,31 @@ TEST(ProcInterfaceTest, UnknownPathRejected) {
   Rig r;
   EXPECT_FALSE(r.proc.write("prism/unknown", "x"));
   EXPECT_EQ(r.proc.read("prism/unknown"), "");
+}
+
+TEST(ProcInterfaceTest, TelemetryIndexListsEverySurfaceSorted) {
+  Rig r;
+  const std::string idx = r.proc.read("prism/telemetry/index");
+  EXPECT_NE(idx.find("prism/mode\n"), std::string::npos);
+  EXPECT_NE(idx.find("prism/priority\n"), std::string::npos);
+  EXPECT_NE(idx.find("prism/telemetry/index\n"), std::string::npos);
+  const auto paths = r.proc.paths();
+  EXPECT_TRUE(std::is_sorted(paths.begin(), paths.end()));
+}
+
+TEST(ProcInterfaceTest, TelemetryIndexSeesLateRegistrations) {
+  Rig r;
+  ASSERT_EQ(r.proc.read("prism/telemetry/index").find("prism/custom"),
+            std::string::npos);
+  r.proc.register_file("prism/custom", [] { return std::string("42"); });
+  // The index is computed per read, so the new file shows up at once —
+  // and it cannot shadow the built-in index path itself.
+  EXPECT_NE(r.proc.read("prism/telemetry/index").find("prism/custom\n"),
+            std::string::npos);
+  EXPECT_EQ(r.proc.read("prism/custom"), "42");
+  r.proc.register_file("prism/telemetry/index",
+                       [] { return std::string("shadow"); });
+  EXPECT_NE(r.proc.read("prism/telemetry/index"), "shadow");
 }
 
 }  // namespace

@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the BENCH_*.json result files.
+
+Compares a bench result against the committed baseline for the same
+hardware class and fails (exit 1) when a gated throughput metric drops
+below the tolerance band. Baselines live in tools/baselines/ as plain
+copies of known-good result files, keyed by bench name and the
+hardware_concurrency the result was measured on:
+
+    tools/baselines/<bench>.hc<N>.json
+
+The hc key matters: events/sec measured on a 1-core container and on a
+16-core bare-metal box are different quantities, and comparing across
+them would make the gate either blind or permanently red. When no
+baseline exists for the result's hc the check passes as ADVISORY —
+first run on a new hardware class records numbers, it cannot gate them.
+
+Gated metrics are wall-clock throughputs (higher is better); a drop
+larger than --tolerance (default 15%) fails. Overhead fractions and
+advisory scaling points (threads > cores, marked "advisory" by
+perf_parallel) are reported but never gate: both measure noise as much
+as code on shared runners.
+
+Self-test hook: --inject-regression 0.20 scales every gated throughput
+down 20% before comparing, so CI can assert the gate actually fires.
+
+Usage:
+    bench_check.py [options] BENCH_foo.json [BENCH_bar.json ...]
+    --baselines DIR        baseline directory (default: tools/baselines
+                           next to this script)
+    --tolerance FRACTION   allowed drop, default 0.15
+    --inject-regression F  scale gated metrics down by F (self-test)
+    --update               (re)write the baseline from the result and
+                           exit 0
+
+Exit codes: 0 pass/advisory, 1 regression, 2 bad invocation or input.
+"""
+
+import argparse
+import json
+import os
+import shutil
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def gated_metrics(doc):
+    """Extracts {name: value} of gated (higher-is-better) throughputs."""
+    bench = doc.get("bench", "")
+    out = {}
+    if bench == "perf_smoke":
+        hl = doc.get("high_load", {})
+        if "events_per_sec" in hl:
+            out["high_load.events_per_sec"] = hl["events_per_sec"]
+        for p in doc.get("sweep", []):
+            key = "sweep.bg%g.events_per_sec" % p.get("bg_kpps", -1)
+            out[key] = p.get("events_per_sec", 0)
+    elif bench == "perf_parallel":
+        sl = doc.get("single_lane", {})
+        if "lane_events_per_sec" in sl:
+            out["single_lane.lane_events_per_sec"] = sl["lane_events_per_sec"]
+        for p in doc.get("scaling", []):
+            if p.get("advisory"):
+                continue  # oversubscribed: measures contention, not code
+            key = "scaling.l%d.t%d.events_per_sec" % (
+                p.get("lanes", 0), p.get("threads", 0))
+            out[key] = p.get("events_per_sec", 0)
+    return out
+
+
+def advisory_metrics(doc):
+    """{name: value} reported for context but never gated."""
+    out = {}
+    for block in ("telemetry_overhead", "lane_profiler_overhead"):
+        b = doc.get(block, {})
+        if "overhead_fraction" in b:
+            out[block + ".overhead_fraction"] = b["overhead_fraction"]
+    det = doc.get("determinism", {})
+    if "events_match_across_threads" in det:
+        out["determinism.events_match_across_threads"] = det[
+            "events_match_across_threads"]
+    return out
+
+
+def baseline_path(base_dir, doc):
+    bench = doc.get("bench")
+    hc = doc.get("hardware_concurrency")
+    if not bench or hc is None:
+        return None
+    return os.path.join(base_dir, "%s.hc%d.json" % (bench, int(hc)))
+
+
+def check_one(result_path, base_dir, tolerance, inject, update):
+    """Returns (failures, advisories) for one result file."""
+    doc = load(result_path)
+    bench = doc.get("bench", "?")
+    bp = baseline_path(base_dir, doc)
+    if bp is None:
+        print("%s: missing bench/hardware_concurrency fields" % result_path)
+        return 1, 0
+
+    if update:
+        os.makedirs(base_dir, exist_ok=True)
+        shutil.copyfile(result_path, bp)
+        print("%s: baseline updated -> %s" % (bench, bp))
+        return 0, 0
+
+    if not os.path.exists(bp):
+        print("%s: ADVISORY — no baseline for hc=%s (%s); run with "
+              "--update on a reference machine to start gating"
+              % (bench, doc.get("hardware_concurrency"), bp))
+        return 0, 1
+
+    base = load(bp)
+    current = gated_metrics(doc)
+    reference = gated_metrics(base)
+    if inject:
+        current = {k: v * (1.0 - inject) for k, v in current.items()}
+
+    failures = 0
+    for name, ref in sorted(reference.items()):
+        if ref <= 0:
+            continue
+        cur = current.get(name)
+        if cur is None:
+            print("%s: %-40s MISSING from result (baseline %.0f)"
+                  % (bench, name, ref))
+            failures += 1
+            continue
+        delta = (cur - ref) / ref
+        ok = delta >= -tolerance
+        print("%s: %-40s base=%12.0f cur=%12.0f  %+6.1f%%  %s"
+              % (bench, name, ref, cur, delta * 100,
+                 "ok" if ok else "REGRESSION (tolerance %.0f%%)"
+                 % (tolerance * 100)))
+        if not ok:
+            failures += 1
+    for name, cur in sorted(current.items()):
+        if name not in reference:
+            print("%s: %-40s cur=%12.0f  (new metric, not gated)"
+                  % (bench, name, cur))
+
+    for name, val in sorted(advisory_metrics(doc).items()):
+        print("%s: %-40s %s  (advisory)" % (bench, name, val))
+    return failures, 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("results", nargs="+", help="BENCH_*.json files")
+    ap.add_argument("--baselines",
+                    default=os.path.join(os.path.dirname(
+                        os.path.abspath(__file__)), "baselines"))
+    ap.add_argument("--tolerance", type=float, default=0.15)
+    ap.add_argument("--inject-regression", type=float, default=0.0,
+                    dest="inject")
+    ap.add_argument("--update", action="store_true")
+    args = ap.parse_args(argv)
+
+    total_failures = 0
+    for path in args.results:
+        try:
+            failures, _ = check_one(path, args.baselines, args.tolerance,
+                                    args.inject, args.update)
+        except (OSError, ValueError) as e:
+            print("%s: cannot check: %s" % (path, e))
+            return 2
+        total_failures += failures
+
+    if total_failures:
+        print("bench_check: %d metric(s) regressed" % total_failures)
+        return 1
+    print("bench_check: all gated metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
