@@ -1,12 +1,15 @@
 // Shared helpers for the figure-reproduction benches.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "harness/experiment.h"
 #include "harness/testbed.h"
+#include "sim/time.h"
 #include "stats/histogram.h"
 #include "stats/summary.h"
 #include "stats/table.h"
@@ -38,6 +41,58 @@ inline int parse_threads(int argc, char** argv) {
     std::printf("engine: parallel lanes on %d threads\n\n", threads);
   }
   return threads;
+}
+
+/// Generic `--flag N` / `--flag=N` integer parser for the bench flags
+/// below. Returns `fallback` when the flag is absent or malformed.
+inline long parse_long_flag(int argc, char** argv, const char* flag,
+                            long fallback) {
+  const std::size_t len = std::strlen(flag);
+  long value = fallback;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+      value = std::atol(argv[i + 1]);
+    } else if (std::strncmp(argv[i], flag, len) == 0 &&
+               argv[i][len] == '=') {
+      value = std::atol(argv[i] + len + 1);
+    }
+  }
+  return value;
+}
+
+/// `--trace-flows N`: flight-recorder sampling period — trace 1-in-N
+/// low-priority flows (high-priority classes are always traced). 0 keeps
+/// the recorder default (64).
+inline std::uint32_t parse_trace_flows(int argc, char** argv) {
+  const long v = parse_long_flag(argc, argv, "--trace-flows", 0);
+  return v > 0 ? static_cast<std::uint32_t>(v) : 0;
+}
+
+/// `--slo-us U`: arm the per-class p99 SLO-breach detector at U
+/// microseconds (0 = detector off, the default).
+inline sim::Duration parse_slo_us(int argc, char** argv) {
+  const long v = parse_long_flag(argc, argv, "--slo-us", 0);
+  return v > 0 ? sim::microseconds(v) : 0;
+}
+
+/// `--inversion-us T`: the priority-inversion wait threshold. The
+/// figure benches default to 50us — between the idle end-to-end p99
+/// (~20us) and the vanilla probe's loaded stage-queue waits — rather
+/// than the recorder-wide 100us default, which only the NIC ring ever
+/// exceeds at fig09/fig10 load levels.
+inline sim::Duration parse_inversion_us(int argc, char** argv,
+                                        long default_us) {
+  const long v = parse_long_flag(argc, argv, "--inversion-us", default_us);
+  return v > 0 ? sim::microseconds(v) : sim::microseconds(default_us);
+}
+
+/// `--seed S`: fault-injection seed for the detector-armed runs (also
+/// honors PRISM_SEED; the flag wins). Default 1.
+inline std::uint64_t parse_seed(int argc, char** argv) {
+  long seed = 1;
+  if (const char* env = std::getenv("PRISM_SEED")) seed = std::atol(env);
+  seed = parse_long_flag(argc, argv, "--seed", seed);
+  return seed > 0 ? static_cast<std::uint64_t>(seed) : 1;
 }
 
 inline std::string us(std::int64_t ns) {
@@ -89,6 +144,22 @@ inline void print_latency_windows(const char* label,
   if (!b.enabled) return;
   std::printf("latency_windows [%s]:\n%s\n", label,
               telemetry::render_latency_windows(b).c_str());
+}
+
+/// One line per configuration of the detector-armed runs: what fired on
+/// the server, how bad the worst inversion was.
+inline void print_anomaly_summary(const char* label,
+                                  const harness::AnomalySummary& a) {
+  std::printf(
+      "anomalies [%s]: queue_inversions=%llu ring_inversions=%llu "
+      "slo_breaches=%llu worst_inversion_wait=%.1fus "
+      "(findings=%llu events=%llu)\n",
+      label, static_cast<unsigned long long>(a.queue_inversions),
+      static_cast<unsigned long long>(a.ring_inversions),
+      static_cast<unsigned long long>(a.slo_breaches),
+      static_cast<double>(a.max_inversion_wait_ns) / 1e3,
+      static_cast<unsigned long long>(a.findings_retained),
+      static_cast<unsigned long long>(a.events_recorded));
 }
 
 }  // namespace prism::bench

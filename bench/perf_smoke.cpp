@@ -89,10 +89,14 @@ struct PointResult {
 /// (the counters are always bound by Host). `telemetry_block`, if
 /// non-null, receives the run's telemetry as a JSON value (registry dump
 /// + rings + latency + flows + proc-style snapshots), rendered outside
-/// the timed section.
+/// the timed section. Without `full_telemetry` the flight recorder and
+/// anomaly bank (armed by default on every host) are disarmed too, so
+/// the baseline is truly counters-only; `flight_recorder` re-arms just
+/// those two for the recorder-overhead A/B.
 PointResult run_point(double bg_rate_pps, sim::Duration duration,
                       bool full_telemetry = false,
-                      std::string* telemetry_block = nullptr) {
+                      std::string* telemetry_block = nullptr,
+                      bool flight_recorder = false) {
   harness::TestbedConfig tc;
   tc.mode = kernel::NapiMode::kPrismSync;
   // This bench is the single-threaded hot-path baseline (and the seed
@@ -109,6 +113,12 @@ PointResult run_point(double bg_rate_pps, sim::Duration duration,
     tb.server().flow_table().set_enabled(false);
     tb.client().latency_ledger().set_enabled(false);
     tb.client().flow_table().set_enabled(false);
+    if (!flight_recorder) {
+      tb.server().flight_recorder().set_armed(false);
+      tb.server().anomalies().set_armed(false);
+      tb.client().flight_recorder().set_armed(false);
+      tb.client().anomalies().set_armed(false);
+    }
   }
   const sim::Duration warmup = sim::milliseconds(50);
   const sim::Time t_end = warmup + duration;
@@ -194,11 +204,12 @@ PointResult run_point(double bg_rate_pps, sim::Duration duration,
 /// clock varies with machine noise).
 PointResult best_of(double bg_rate_pps, sim::Duration duration, int reps,
                     bool full_telemetry = false,
-                    std::string* telemetry_block = nullptr) {
+                    std::string* telemetry_block = nullptr,
+                    bool flight_recorder = false) {
   PointResult best;
   for (int i = 0; i < reps; ++i) {
-    PointResult p =
-        run_point(bg_rate_pps, duration, full_telemetry, telemetry_block);
+    PointResult p = run_point(bg_rate_pps, duration, full_telemetry,
+                              telemetry_block, flight_recorder);
     if (best.wall_s == 0 || p.wall_s < best.wall_s) best = p;
   }
   return best;
@@ -349,6 +360,14 @@ int main(int argc, char** argv) {
       best_of(kHighLoadKpps * 1e3, sim::milliseconds(200), kRepsPerPoint,
               /*full_telemetry=*/true, &telemetry_block);
 
+  // A/B: the flight recorder + anomaly bank alone (armed at defaults:
+  // 1/64 sampling, high classes pinned, inversion detector on) against
+  // the counters-only baseline. This is the cost of leaving the recorder
+  // armed in production, which is the intended deployment.
+  const PointResult recorder_on =
+      best_of(kHighLoadKpps * 1e3, sim::milliseconds(200), kRepsPerPoint,
+              /*full_telemetry=*/false, nullptr, /*flight_recorder=*/true);
+
   // A/B: lane-profiler recording cost on the lane engine (one pair, one
   // thread, same high-load workload), interleaved so machine noise hits
   // both arms alike. Target: <= 3%, same budget as the telemetry layer.
@@ -369,6 +388,10 @@ int main(int argc, char** argv) {
       high.events_per_sec() > 0
           ? 1.0 - telem_on.events_per_sec() / high.events_per_sec()
           : 0.0;
+  const double recorder_overhead =
+      high.events_per_sec() > 0
+          ? 1.0 - recorder_on.events_per_sec() / high.events_per_sec()
+          : 0.0;
   const std::uint64_t rss = peak_rss_bytes();
 
   std::printf("high-load ev/s=%.0f  seed ev/s=%.0f  speedup=%.2fx\n",
@@ -378,6 +401,11 @@ int main(int argc, char** argv) {
               telem_on.events_per_sec(), telem_overhead * 100.0,
               kTelemetryOverheadTarget * 100.0,
               telem_overhead <= kTelemetryOverheadTarget ? "" : "  ** OVER **");
+  std::printf(
+      "flight-recorder ev/s=%.0f  overhead=%.2f%% (target <= %.0f%%)%s\n",
+      recorder_on.events_per_sec(), recorder_overhead * 100.0,
+      kTelemetryOverheadTarget * 100.0,
+      recorder_overhead <= kTelemetryOverheadTarget ? "" : "  ** OVER **");
   std::printf(
       "lane-profiler off ev/s=%.0f  on ev/s=%.0f  overhead=%.2f%% "
       "(target <= %.0f%%)%s\n",
@@ -430,6 +458,15 @@ int main(int argc, char** argv) {
   w.member("overhead_fraction", telem_overhead);
   w.member("target_fraction", kTelemetryOverheadTarget);
   w.member("within_target", telem_overhead <= kTelemetryOverheadTarget);
+  w.end_object();
+  w.key("flight_recorder_overhead");
+  w.begin_object();
+  w.member("compiled_in", static_cast<bool>(PRISM_TELEMETRY_ENABLED));
+  w.member("baseline_events_per_sec", high.events_per_sec());
+  w.member("recorder_events_per_sec", recorder_on.events_per_sec());
+  w.member("overhead_fraction", recorder_overhead);
+  w.member("target_fraction", kTelemetryOverheadTarget);
+  w.member("within_target", recorder_overhead <= kTelemetryOverheadTarget);
   w.end_object();
   w.key("lane_profiler_overhead");
   w.begin_object();

@@ -43,6 +43,7 @@
 #include "sim/pool.h"
 #include "sim/rng.h"
 #include "stats/table.h"
+#include "telemetry/anomaly.h"
 #include "telemetry/latency.h"
 
 namespace prism::bench {
@@ -95,6 +96,23 @@ constexpr std::uint16_t kBulkPort = 7000;    // level 0
 constexpr std::uint16_t kFloodPort = 7001;   // level 1
 constexpr std::uint16_t kProbePort = 7002;   // level 2
 constexpr std::uint16_t kUnboundPort = 7999; // no socket: livelock bait
+
+/// Detector arming for the soak: the SLO target sits between the probe's
+/// unloaded windowed p99 (~45us, short profile) and its overloaded one
+/// (~90us; the flood class sits at ~106us), so overload rounds breach it
+/// while the pre-ramp baseline and a clean run never do. The drop-burst
+/// threshold is far above fault-injection noise but well below one
+/// overloaded round's shed rate.
+constexpr sim::Duration kSloTarget = sim::microseconds(64);
+constexpr std::uint32_t kDropBurstThreshold = 256;  // per 1 ms window
+
+telemetry::AnomalyConfig soak_anomaly_config() {
+  telemetry::AnomalyConfig ac;
+  ac.slo_p99_ns = kSloTarget;
+  ac.drop_burst_threshold = kDropBurstThreshold;
+  ac.flap_threshold = 4;
+  return ac;
+}
 
 /// Self-rescheduling one-way UDP sender: `burst` datagrams every
 /// `tick_gap`, rotating client CPUs and source ports.
@@ -154,6 +172,10 @@ struct SoakResult {
   telemetry::LatencyBreakdown latency;
   std::string overload_json;
   std::string faults_json;
+  std::string anomalies_json;
+  std::uint64_t slo_breaches = 0;
+  std::uint64_t drop_bursts = 0;
+  sim::Time first_slo_breach_at = -1;
 };
 
 /// Max probe-window p99 for `level` over delivery windows starting in
@@ -227,6 +249,10 @@ SoakResult run_soak(std::uint64_t seed, const Profile& prof, bool report) {
   cfg.server_faults.backlog_full_rate = 0.002;
   cfg.server_faults.skb_alloc_fail_rate = 0.002;
   harness::Testbed tb(cfg);
+  // Detectors armed for the whole soak: inversion (default 100 us),
+  // per-class SLO p99, drop bursts, governor flapping. They observe
+  // only — the same-seed determinism check below covers their document.
+  tb.server().anomalies().arm(soak_anomaly_config());
   auto& c1 = tb.add_client_container("c1");
   auto& c2 = tb.add_server_container("c2");
   std::array<kernel::UdpSocket*, 3> socks = {
@@ -318,6 +344,26 @@ SoakResult run_soak(std::uint64_t seed, const Profile& prof, bool report) {
   res.latency = tb.server().latency_ledger().snapshot();
   res.overload_json = tb.server().proc().read("prism/overload");
   res.faults_json = tb.server().proc().read("prism/faults");
+  res.anomalies_json = tb.server().proc().read("prism/anomalies");
+  {
+    const telemetry::AnomalyBank& bank = tb.server().anomalies();
+    res.slo_breaches = bank.fired(telemetry::AnomalyKind::kSloBreach);
+    res.drop_bursts = bank.fired(telemetry::AnomalyKind::kDropBurst);
+    for (const auto& f : bank.findings()) {
+      if (f.kind == telemetry::AnomalyKind::kSloBreach) {
+        res.first_slo_breach_at = f.at;
+        break;
+      }
+    }
+    if (report) {
+      const char* trace_out = std::getenv("PRISM_ANOMALY_TRACE_OUT");
+      if (trace_out == nullptr) trace_out = "anomaly_trace.json";
+      if (telemetry::export_anomaly_trace_file(bank, trace_out)) {
+        std::printf("wrote %s (%llu findings)\n", trace_out,
+                    static_cast<unsigned long long>(bank.findings().size()));
+      }
+    }
+  }
 
   // ------------------------------------------------------------ monitors
   const std::string tag = "seed " + std::to_string(seed);
@@ -402,6 +448,16 @@ SoakResult run_soak(std::uint64_t seed, const Profile& prof, bool report) {
           tag + ": recovery probe p99 " + us(rec_p99) +
               "us not within 10% of baseline " + us(base_p99) + "us");
   }
+
+  // Detector bank: the overload phases must breach the armed SLO and
+  // trip the drop-burst detector (the clean baseline run in main_impl
+  // asserts the converse: nothing fires without overload).
+  check(res.slo_breaches >= 1, tag + ": SLO-breach detector never fired");
+  check(res.first_slo_breach_at >= ramp_start,
+        tag + ": SLO breach before the ramp started (at " +
+            std::to_string(res.first_slo_breach_at) + " ns)");
+  check(res.drop_bursts >= 1,
+        tag + ": drop-burst detector never fired despite shedding");
 #else
   std::printf("telemetry compiled out: probe p99 monitors skipped\n");
 #endif
@@ -433,6 +489,11 @@ SoakResult run_soak(std::uint64_t seed, const Profile& prof, bool report) {
                 static_cast<unsigned long long>(res.livelocks),
                 static_cast<unsigned long long>(res.shed_count),
                 static_cast<unsigned long long>(res.flow_limit_count));
+    std::printf("detectors: slo_breaches=%llu (first at %lld ns) "
+                "drop_bursts=%llu\n",
+                static_cast<unsigned long long>(res.slo_breaches),
+                static_cast<long long>(res.first_slo_breach_at),
+                static_cast<unsigned long long>(res.drop_bursts));
     std::printf("probe p99: baseline %sus, overloaded %sus (bound 3x), "
                 "recovered %sus (bound +10%%)\n\n",
                 us(base_p99).c_str(), us(ramp_p99).c_str(),
@@ -441,6 +502,39 @@ SoakResult run_soak(std::uint64_t seed, const Profile& prof, bool report) {
     std::printf("%s\n", render_latency_breakdown(res.latency).c_str());
   }
   return res;
+}
+
+/// A clean reference run: same testbed shape and armed detectors, but
+/// only the probe stream — no floods, no fault injection, no overload.
+/// Returns the bank's fired_total, which must be zero: the detectors'
+/// thresholds are calibrated to stay silent on a healthy system.
+std::uint64_t run_clean_baseline() {
+  harness::TestbedConfig cfg;
+  cfg.mode = kernel::NapiMode::kPrismBatch;
+  cfg.server_netdev_max_backlog = 256;
+  cfg.coalesce = nic::CoalesceConfig{sim::microseconds(40), 8};
+  cfg.server_rps_cpus = {1};
+  cfg.cost.backlog_stage_per_packet = sim::microseconds(2);
+  cfg.cost.napi_batch_size = 12;
+  harness::Testbed tb(cfg);
+  tb.server().anomalies().arm(soak_anomaly_config());
+  auto& c1 = tb.add_client_container("c1");
+  auto& c2 = tb.add_server_container("c2");
+  tb.server().udp_bind(c2, kProbePort, /*capacity=*/65536);
+  tb.server().priority_db().add(c2.ip(), kProbePort, 2);
+
+  Stream probe;
+  probe.tb = &tb;
+  probe.ns = &c1;
+  probe.dst_ip = c2.ip();
+  probe.dst_port = kProbePort;
+  probe.src_ports = {4444};
+  probe.stop = 50 * kMs;
+  probe.burst = 1;
+  probe.tick_gap = static_cast<sim::Duration>(1e9 / 100e3);
+  probe.start(10 * kMs);
+  tb.sim().run();
+  return tb.server().anomalies().fired_total();
 }
 
 int main_impl(int argc, char** argv) {
@@ -481,6 +575,17 @@ int main_impl(int argc, char** argv) {
         "determinism: prism/overload snapshots differ across same-seed runs");
   check(first.faults_json == second.faults_json,
         "determinism: prism/faults snapshots differ across same-seed runs");
+  check(first.anomalies_json == second.anomalies_json,
+        "determinism: prism/anomalies documents differ across same-seed runs");
+
+  // The converse of the in-soak detector monitors: a clean system with
+  // the same armed thresholds fires nothing.
+#if PRISM_TELEMETRY_ENABLED
+  const std::uint64_t clean_fired = run_clean_baseline();
+  check(clean_fired == 0,
+        "clean baseline fired " + std::to_string(clean_fired) +
+            " anomaly detector(s); thresholds are miscalibrated");
+#endif
 
   if (g_failures == 0) {
     std::printf("soak_overload: all monitors held (seed %llu)\n",

@@ -118,18 +118,24 @@ std::string Cluster::cluster_json() {
 
   std::vector<const telemetry::Registry*> regs;
   std::vector<const telemetry::LatencyLedger*> ledgers;
+  std::vector<const telemetry::AnomalyBank*> banks;
   regs.reserve(static_cast<std::size_t>(num_hosts()));
   ledgers.reserve(static_cast<std::size_t>(num_hosts()));
+  banks.reserve(static_cast<std::size_t>(num_hosts()));
   for (Pair& p : pairs_) {
     regs.push_back(&p.client->metrics());
     regs.push_back(&p.server->metrics());
     ledgers.push_back(&p.client->latency_ledger());
     ledgers.push_back(&p.server->latency_ledger());
+    banks.push_back(&p.client->anomalies());
+    banks.push_back(&p.server->anomalies());
   }
   w.key("registry");
   telemetry::write_merged_registry_json(w, regs);
   w.key("latency");
   telemetry::write_merged_latency_json(w, ledgers);
+  w.key("anomalies");
+  telemetry::write_merged_anomalies_json(w, banks);
 
   w.key("pair_summaries").begin_array();
   for (int i = 0; i < pairs(); ++i) {

@@ -7,6 +7,8 @@
 #include "apps/memcached.h"
 #include "apps/sockperf.h"
 #include "harness/testbed.h"
+#include "telemetry/anomaly.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/snapshot.h"
 #include "telemetry/span_tracer.h"
 
@@ -32,25 +34,59 @@ TestbedConfig testbed_config(const kernel::CostModel& cost,
   return tc;
 }
 
-/// Clears the server's latency ledger and flow table at the warmup
-/// boundary so the reported attribution covers only the measurement
-/// window.
+/// Clears the server's latency ledger, flow table, flight recorder and
+/// anomaly bank at the warmup boundary so the reported attribution and
+/// detector findings cover only the measurement window.
 void reset_latency_at_warmup(Testbed& tb, sim::Time warmup) {
   tb.server_sim().schedule_at(warmup, [&tb] {
     tb.server().latency_ledger().reset();
     tb.server().flow_table().reset();
+    tb.server().flight_recorder().reset();
+    tb.server().anomalies().reset();
   });
+}
+
+/// Lifts the per-kind firing counters off the server's bank.
+AnomalySummary anomaly_summary_of(Testbed& tb) {
+  using telemetry::AnomalyKind;
+  const telemetry::AnomalyBank& bank = tb.server().anomalies();
+  AnomalySummary s;
+  s.queue_inversions = bank.fired(AnomalyKind::kQueueInversion);
+  s.ring_inversions = bank.fired(AnomalyKind::kRingInversion);
+  s.slo_breaches = bank.fired(AnomalyKind::kSloBreach);
+  s.drop_bursts = bank.fired(AnomalyKind::kDropBurst);
+  s.governor_flaps = bank.fired(AnomalyKind::kGovernorFlap);
+  s.findings_retained = bank.findings().size();
+  s.events_recorded = tb.server().flight_recorder().recorded();
+  s.max_inversion_wait_ns =
+      static_cast<std::int64_t>(bank.max_inversion_wait_ns());
+  return s;
 }
 
 }  // namespace
 
 PriorityScenarioResult run_priority_scenario(
     const PriorityScenarioConfig& cfg) {
-  Testbed tb(testbed_config(cfg.cost, cfg.mode, cfg.threads));
+  TestbedConfig tc = testbed_config(cfg.cost, cfg.mode, cfg.threads);
+  if (cfg.wire_drop_rate > 0 || cfg.wire_dup_rate > 0) {
+    tc.server_faults.wire_drop_rate = cfg.wire_drop_rate;
+    tc.server_faults.wire_duplicate_rate = cfg.wire_dup_rate;
+    tc.server_faults.seed = cfg.fault_seed;
+  }
+  Testbed tb(tc);
   telemetry::SpanTracer tracer;
   if (!cfg.trace_out.empty()) tb.attach_span_tracer(tracer);
   if (cfg.latency_window > 0) {
     tb.server().latency_ledger().set_window_interval(cfg.latency_window);
+  }
+  if (cfg.arm_detectors) {
+    telemetry::FlightRecorderConfig rc;
+    rc.sample_period = cfg.trace_sample_period;
+    tb.server().flight_recorder().configure(rc);
+    telemetry::AnomalyConfig ac;
+    ac.inversion_wait_ns = cfg.inversion_wait_ns;
+    ac.slo_p99_ns = cfg.slo_p99_ns;
+    tb.server().anomalies().arm(ac);
   }
   reset_latency_at_warmup(tb, cfg.warmup);
   const sim::Time t_end = cfg.warmup + cfg.duration;
@@ -138,6 +174,17 @@ PriorityScenarioResult run_priority_scenario(
   result.bg_received = bg_server.received();
   result.server_ring_drops = tb.server().nic().rx_dropped();
   result.server_latency = tb.server().latency_ledger().snapshot();
+  result.server_anomalies = anomaly_summary_of(tb);
+  if (cfg.arm_detectors) {
+    result.server_anomalies_json = telemetry::anomalies_json(
+        tb.server().anomalies(), &tb.server().flight_recorder());
+  }
+  if (!cfg.anomaly_trace_out.empty() &&
+      !telemetry::export_anomaly_trace_file(tb.server().anomalies(),
+                                            cfg.anomaly_trace_out)) {
+    std::fprintf(stderr, "run_priority_scenario: cannot write %s\n",
+                 cfg.anomaly_trace_out.c_str());
+  }
   if (cfg.collect_telemetry) {
     result.server_telemetry_json =
         telemetry::telemetry_json(tb.server().telemetry());

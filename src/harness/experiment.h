@@ -49,6 +49,46 @@ struct PriorityScenarioConfig {
   /// Simulation engine (TestbedConfig::threads): 0 = harness default,
   /// 1 = classic shared simulator, >= 2 = parallel lane backend.
   int threads = 0;
+  /// Arm the server's flight recorder + anomaly-detector bank with the
+  /// settings below (otherwise both keep their always-on defaults:
+  /// sample 1/64, inversion threshold 100 us, no SLO target). Detectors
+  /// never alter the schedule; arming only changes what gets reported.
+  bool arm_detectors = false;
+  /// 1-in-N deterministic flow sampling (classes >= 1 always traced).
+  std::uint32_t trace_sample_period = 64;
+  /// Priority-inversion threshold: one stamp-point wait this long fires.
+  sim::Duration inversion_wait_ns = sim::microseconds(100);
+  /// Per-class p99 SLO over 1 ms windows (0 = SLO detector off).
+  sim::Duration slo_p99_ns = 0;
+  /// Non-empty: export the findings' frozen evidence slices as Chrome
+  /// trace_event JSON to this path (Perfetto-loadable).
+  std::string anomaly_trace_out;
+  /// Mild wire fault injection on the server (drop/duplicate
+  /// probabilities), so detector runs see realistic loss; seeded by
+  /// fault_seed for reproducible multi-seed tables.
+  double wire_drop_rate = 0.0;
+  double wire_dup_rate = 0.0;
+  std::uint64_t fault_seed = 1;
+};
+
+/// Counts of detector firings on the server, lifted from the bank after
+/// the run (full document in server_anomalies_json when arm_detectors).
+struct AnomalySummary {
+  std::uint64_t queue_inversions = 0;
+  std::uint64_t ring_inversions = 0;
+  std::uint64_t slo_breaches = 0;
+  std::uint64_t drop_bursts = 0;
+  std::uint64_t governor_flaps = 0;
+  std::uint64_t findings_retained = 0;
+  std::uint64_t events_recorded = 0;
+  std::int64_t max_inversion_wait_ns = 0;
+
+  std::uint64_t inversions() const {
+    return queue_inversions + ring_inversions;
+  }
+  std::uint64_t total() const {
+    return inversions() + slo_breaches + drop_bursts + governor_flaps;
+  }
 };
 
 struct PriorityScenarioResult {
@@ -67,6 +107,12 @@ struct PriorityScenarioResult {
   /// Server-side per-stage latency attribution over the measurement
   /// window (warmup excluded).
   telemetry::LatencyBreakdown server_latency;
+  /// Detector firings on the server over the measurement window (warmup
+  /// excluded; always filled — the default bank detects inversions).
+  AnomalySummary server_anomalies;
+  /// The server's full "prism/anomalies" document (findings + frozen
+  /// evidence), filled when arm_detectors.
+  std::string server_anomalies_json;
 };
 
 PriorityScenarioResult run_priority_scenario(

@@ -21,6 +21,8 @@ static_assert(telemetry::kNumLatencyClasses == kNumPriorityLevels,
               "latency ledger classes must mirror PRISM priority levels");
 static_assert(fault::kNumFaultClasses == kNumPriorityLevels,
               "drop ledger classes must mirror PRISM priority levels");
+static_assert(telemetry::kNumAnomalyClasses == kNumPriorityLevels,
+              "anomaly SLO classes must mirror PRISM priority levels");
 
 }  // namespace
 
@@ -59,6 +61,15 @@ Host::Host(sim::Simulator& sim, HostConfig config)
   deliverer_->bind_telemetry(telemetry_.registry, "sockets.");
   deliverer_->set_latency(&telemetry_.latency, &telemetry_.flows);
 
+  // Flight recorder <-> anomaly bank: the recorder feeds stage waits to
+  // the detectors, and a firing detector freezes the recorder's newest
+  // events as evidence. Both are armed by default (inversion detection
+  // only) and never alter the schedule.
+  telemetry_.recorder.set_anomalies(&telemetry_.anomalies);
+  telemetry_.anomalies.set_recorder(&telemetry_.recorder);
+  deliverer_->set_flight_recorder(&telemetry_.recorder);
+  deliverer_->set_anomalies(&telemetry_.anomalies);
+
   // Fault layer: arm the plan from the config and give the drop ledger
   // its class axis. Drop sites that only hold raw bytes (the NIC ring)
   // classify through the priority DB exactly as the stage-1 poll would
@@ -70,8 +81,10 @@ Host::Host(sim::Simulator& sim, HostConfig config)
         return mode() == NapiMode::kVanilla ? 0
                                             : priority_db_.classify(frame);
       });
-  faults_.drops.set_observer([this](fault::DropReason, int level) {
+  faults_.drops.set_observer([this](fault::DropReason reason, int level) {
     telemetry_.latency.record_dropped(level);
+    telemetry_.anomalies.on_drop(static_cast<int>(reason), level,
+                                 sim_.now());
   });
   faults_.drops.bind_telemetry(telemetry_.registry, "faults.");
   nic_->set_faults(&faults_);
@@ -105,6 +118,12 @@ Host::Host(sim::Simulator& sim, HostConfig config)
       nic_->queue(q).set_coalesce(c);
     }
   });
+  governor_->set_transition_observer(
+      [this](const OverloadGovernor::Transition& t) {
+        telemetry_.anomalies.on_governor_transition(
+            t.at, static_cast<int>(t.from), static_cast<int>(t.to),
+            t.cause);
+      });
 #if PRISM_OVERLOAD_ENABLED
   deliverer_->set_governor(governor_.get());
 #endif
@@ -129,6 +148,7 @@ Host::Host(sim::Simulator& sim, HostConfig config)
                                       cpu_prefix + "veth.");
     pc->backlog->set_faults(&faults_);
     pc->backlog_stage->set_faults(&faults_);
+    pc->backlog->set_flight_recorder(&telemetry_.recorder, /*stage=*/3);
     pc->backlog->queue_limit = cfg_.netdev_max_backlog;
     pc->admission = std::make_unique<BacklogAdmission>(
         cfg_.overload, cfg_.netdev_max_backlog);
@@ -153,6 +173,7 @@ Host::Host(sim::Simulator& sim, HostConfig config)
     ctx.deliverer = deliverer_.get();
     ctx.root_ns = root_ns_.get();
     ctx.ledger = &telemetry_.latency;
+    ctx.recorder = &telemetry_.recorder;
     ctx.faults = &faults_;
     ctx.vxlan_lookup = [this, cpu_idx](std::uint32_t vni) -> QueueNapi* {
       const auto it = bridges_.find(vni);
@@ -221,6 +242,10 @@ Host::Host(sim::Simulator& sim, HostConfig config)
   proc_->register_file("prism/faults", [this] {
     return fault::faults_json(faults_);
   });
+  proc_->register_file("prism/anomalies", [this] {
+    return telemetry::anomalies_json(telemetry_.anomalies,
+                                     &telemetry_.recorder);
+  });
   proc_->register_file("prism/overload", [this] {
     std::vector<const BacklogAdmission*> admissions;
     admissions.reserve(per_cpu_.size());
@@ -263,6 +288,8 @@ overlay::Bridge& Host::bridge(std::uint32_t vni) {
                                             prefix + "cell.");
       bundle.bridge->stage(c).set_faults(&faults_);
       bundle.bridge->cell(c).set_faults(&faults_);
+      bundle.bridge->cell(c).set_flight_recorder(&telemetry_.recorder,
+                                                 /*stage=*/2);
     }
     if (!cfg_.rps_cpus.empty()) {
       std::vector<overlay::RpsTarget> targets;
@@ -372,6 +399,23 @@ void Host::deliver_local(BridgeBundle& bundle, net::PacketBuf frame) {
   skb->ts.nic_rx = sim_.now();
   skb->ts.stage1_start = sim_.now();
   skb->ts.stage1_done = sim_.now();
+#if PRISM_TELEMETRY_ENABLED
+  if (skb->parsed && telemetry_.recorder.armed()) {
+    int observed = skb->priority;
+    if (!prism_mode && !skb->parsed->is_vxlan()) {
+      observed = priority_db_.classify(*skb->parsed, nullptr);
+    }
+    skb->observed_class = static_cast<std::int8_t>(observed);
+    const net::FiveTuple flow = net::flow_of(*skb->parsed);
+    if (telemetry_.recorder.should_trace(flow, observed)) {
+      // Local path: no hardware ring, so the arrival event carries zero
+      // ring wait and the journey starts at the bridge cell.
+      skb->traced = true;
+      telemetry_.recorder.on_ring_arrival(flow, observed, sim_.now(),
+                                          sim_.now());
+    }
+  }
+#endif
   skb->buf = std::move(frame);
   skb->stage = 2;
   QueueNapi& cell = bundle.bridge->cell(cpu_idx);

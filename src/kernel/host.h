@@ -196,6 +196,19 @@ class Host {
   /// Bounded per-flow accounting table (proc: "prism/flows").
   telemetry::FlowTable& flow_table() noexcept { return telemetry_.flows; }
 
+  /// Flow-path flight recorder: sampled per-packet lifecycle rings fed
+  /// from every stamp point (armed by default at 1-in-64 sampling with
+  /// high classes pinned).
+  telemetry::FlightRecorder& flight_recorder() noexcept {
+    return telemetry_.recorder;
+  }
+  /// Streaming anomaly detectors (proc: "prism/anomalies"). Inversion
+  /// detection is armed by default; SLO/drop-burst/flap detectors arm
+  /// via anomalies().arm(config).
+  telemetry::AnomalyBank& anomalies() noexcept {
+    return telemetry_.anomalies;
+  }
+
   /// Attaches a span tracer to every CPU's engine and the NIC IRQ lines.
   /// CPU i records on track `track_base + i` (labelled "<host>.cpu<i>");
   /// pass distinct bases when two hosts share one tracer. nullptr

@@ -15,7 +15,9 @@
 #include "fault/fault.h"
 #include "kernel/cost_model.h"
 #include "kernel/skb.h"
+#include "net/flow.h"
 #include "sim/time.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/metrics.h"
 
 #ifndef PRISM_OVERLOAD_ENABLED
@@ -131,13 +133,13 @@ class NapiStruct {
       if (verdict != AdmissionPolicy::Verdict::kAdmit) {
         ++(level > 0 ? high_dropped_ : low_dropped_);
         t_dropped_->inc();
+        const auto reason = verdict == AdmissionPolicy::Verdict::kFlowLimit
+                                ? fault::DropReason::kFlowLimit
+                                : fault::DropReason::kOverloadShed;
         if (faults_ != nullptr) {
-          faults_->drops.record(
-              verdict == AdmissionPolicy::Verdict::kFlowLimit
-                  ? fault::DropReason::kFlowLimit
-                  : fault::DropReason::kOverloadShed,
-              level);
+          faults_->drops.record(reason, level);
         }
+        record_traced_drop(*skb, reason);
         return false;
       }
     }
@@ -155,14 +157,36 @@ class NapiStruct {
       if (faults_ != nullptr) {
         faults_->drops.record(fault::DropReason::kBacklogFull, level);
       }
+      record_traced_drop(*skb, fault::DropReason::kBacklogFull);
       // Returning false destroys the caller's skb, recycling it (and its
       // buffer storage) through the pools.
       return false;
     }
+#if PRISM_TELEMETRY_ENABLED
+    if (recorder_ != nullptr && skb->traced && skb->parsed) {
+      // Observability only: nothing here alters cost or scheduling.
+      const int head = head_class();
+      skb->head_class_at_enqueue = static_cast<std::int8_t>(head);
+      recorder_->on_enqueue(net::flow_of(*skb->parsed), recorder_stage_,
+                            skb->observed_class,
+                            static_cast<int>(pending_total()) + 1, head,
+                            last_done_stamp(*skb));
+    }
+#endif
     q.push_back(std::move(skb));
     t_enqueued_->inc();
     t_depth_->set(static_cast<std::int64_t>(q.size()));
     return true;
+  }
+
+  /// Attaches the host's flight recorder; `stage` labels this device's
+  /// position in the pipeline (2 = bridge gro_cell, 3 = backlog/veth).
+  /// Recording never alters the schedule — traced runs stay
+  /// byte-identical to untraced ones in simulated time.
+  void set_flight_recorder(telemetry::FlightRecorder* recorder,
+                           int stage) noexcept {
+    recorder_ = recorder;
+    recorder_stage_ = stage;
   }
 
   /// Attaches the host's fault layer: backlog drops are attributed to the
@@ -226,6 +250,35 @@ class NapiStruct {
   /// NAPI_STATE_SCHED: set while the device is in a poll list or being
   /// polled; cleared by napi_complete.
   bool scheduled = false;
+
+ protected:
+  /// Observed priority class of the packet that will be served next
+  /// (-1 = all queues empty). In Prism modes this equals the highest
+  /// non-empty level; in vanilla everything sits in queue 0, so the
+  /// front skb's recorder-observed class is what a new arrival actually
+  /// waits behind.
+  int head_class() const noexcept {
+    const int hp = highest_pending();
+    if (hp < 0) return -1;
+    const Skb& front = *queues[static_cast<std::size_t>(hp)].front();
+    return front.observed_class > hp ? front.observed_class : hp;
+  }
+
+  void record_traced_drop(const Skb& skb, fault::DropReason reason) {
+#if PRISM_TELEMETRY_ENABLED
+    if (recorder_ != nullptr && skb.traced && skb.parsed) {
+      recorder_->on_drop(net::flow_of(*skb.parsed), recorder_stage_,
+                         skb.observed_class, static_cast<int>(reason),
+                         last_done_stamp(skb));
+    }
+#else
+    (void)skb;
+    (void)reason;
+#endif
+  }
+
+  telemetry::FlightRecorder* recorder_ = nullptr;
+  int recorder_stage_ = 0;
 
  private:
   std::string name_;

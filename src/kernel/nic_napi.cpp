@@ -143,6 +143,32 @@ PollOutcome NicNapi::poll(int batch, sim::Time start) {
     skb->ts.nic_rx = entry->arrived;
     skb->ts.stage1_start = dequeued;
 
+#if PRISM_TELEMETRY_ENABLED
+    net::FiveTuple traced_flow;
+    if (ctx_.recorder != nullptr && ctx_.recorder->armed()) {
+      int observed = level;
+      if (!prism_mode && ctx_.priority_db != nullptr) {
+        // Vanilla never classifies on the datapath (skb->priority stays
+        // 0); the recorder classifies on the side — wall-clock cost only,
+        // no simulated cost — so inversions suffered by would-be-high
+        // flows are attributable in the baseline too.
+        observed =
+            ctx_.priority_db->classify(parsed, inner ? &*inner : nullptr);
+      }
+      skb->observed_class = static_cast<std::int8_t>(observed);
+      const bool flow_known = !parsed.is_vxlan() || inner.has_value();
+      if (flow_known) {
+        traced_flow = parsed.is_vxlan() ? net::flow_of(*inner)
+                                        : net::flow_of(parsed);
+        if (ctx_.recorder->should_trace(traced_flow, observed)) {
+          skb->traced = true;
+          ctx_.recorder->on_ring_arrival(traced_flow, observed,
+                                         entry->arrived, dequeued);
+        }
+      }
+    }
+#endif
+
     Route route;
     net::FiveTuple gro_key;
     bool gro_ok = false;
@@ -157,6 +183,13 @@ PollOutcome NicNapi::poll(int batch, sim::Time start) {
         if (ctx_.faults != nullptr) {
           ctx_.faults->drops.record(fault::DropReason::kUnroutable, level);
         }
+#if PRISM_TELEMETRY_ENABLED
+        if (skb->traced) {
+          ctx_.recorder->on_drop(
+              traced_flow, 1, skb->observed_class,
+              static_cast<int>(fault::DropReason::kUnroutable), dequeued);
+        }
+#endif
         out.cost += scaled(ctx_.cost->nic_stage_per_packet);
         continue;
       }
@@ -186,6 +219,13 @@ PollOutcome NicNapi::poll(int batch, sim::Time start) {
       if (ctx_.faults != nullptr) {
         ctx_.faults->drops.record(fault::DropReason::kUnroutable, level);
       }
+#if PRISM_TELEMETRY_ENABLED
+      if (skb->traced) {
+        ctx_.recorder->on_drop(
+            traced_flow, 1, skb->observed_class,
+            static_cast<int>(fault::DropReason::kUnroutable), dequeued);
+      }
+#endif
       out.cost += scaled(ctx_.cost->nic_stage_per_packet);
       continue;
     }

@@ -56,6 +56,9 @@ struct NicNapiContext {
   overlay::Netns* root_ns = nullptr;
   /// Optional: receives IRQ->poll durations (telemetry/latency.h).
   telemetry::LatencyLedger* ledger = nullptr;
+  /// Optional: flow-path flight recorder. The sampling decision for a
+  /// packet's whole journey is made here, at stage-1 dequeue.
+  telemetry::FlightRecorder* recorder = nullptr;
   /// Optional: the host's fault layer (drop attribution, decap
   /// corruption, skb alloc-failure injection).
   fault::FaultLayer* faults = nullptr;

@@ -44,11 +44,13 @@ void OverloadGovernor::transition(State to, const char* cause) {
   if (from == to) return;
   state_ = to;
   t_state_->set(static_cast<std::int64_t>(to));
+  const Transition t{sim_.now(), from, to, cause};
   if (log_.size() < cfg_.max_transitions) {
-    log_.push_back(Transition{sim_.now(), from, to, cause});
+    log_.push_back(t);
   } else {
     ++log_dropped_;
   }
+  if (transition_observer_) transition_observer_(t);
   if (to == State::kOverloaded && from == State::kNormal) {
     ++entries_;
     t_entries_->inc();

@@ -228,6 +228,14 @@ class OverloadGovernor {
     moderation_hook_ = std::move(hook);
   }
 
+  /// Invoked on EVERY state change (after the log entry is recorded) —
+  /// the host feeds the anomaly bank's governor-flap detector here.
+  /// Purely observational: must not call back into the governor.
+  using TransitionObserver = std::function<void(const Transition&)>;
+  void set_transition_observer(TransitionObserver observer) {
+    transition_observer_ = std::move(observer);
+  }
+
   void bind_telemetry(telemetry::Registry& reg, const std::string& prefix) {
     t_entries_ = &reg.counter(prefix + "entries");
     t_exits_ = &reg.counter(prefix + "exits");
@@ -327,6 +335,7 @@ class OverloadGovernor {
   const std::size_t exit_depth_;
   std::function<std::size_t()> depth_probe_;
   std::function<void(bool)> moderation_hook_;
+  TransitionObserver transition_observer_;
   State state_ = State::kNormal;
   int squeeze_streak_ = 0;
   int residency_streak_ = 0;

@@ -9,6 +9,8 @@
 #include "kernel/tcp.h"
 #include "net/flow.h"
 #include "overlay/netns.h"
+#include "telemetry/anomaly.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/flow_table.h"
 #include "telemetry/latency.h"
 
@@ -21,6 +23,19 @@ sim::Duration SocketDeliverer::deliver(Skb& skb, sim::Time at,
   // The journey [nic_rx, socket_enqueue] is complete: attribute it per
   // stage, once per skb (a GRO train shares its head's timestamps).
   if (ledger_ != nullptr) ledger_->record_delivery(skb.ts, skb.priority);
+  // Recorder-observed class: equals priority in Prism modes; in vanilla
+  // the datapath never classifies, so the side-channel classification
+  // carries the class the SLO detector should attribute this journey to.
+  const int observed = skb.observed_class > skb.priority
+                           ? static_cast<int>(skb.observed_class)
+                           : skb.priority;
+  if (anomalies_ != nullptr && skb.ts.nic_rx >= 0) {
+    anomalies_->on_delivery(observed, at - skb.ts.nic_rx, at);
+  }
+  if (recorder_ != nullptr && skb.traced && skb.parsed) {
+    recorder_->on_deliver(net::flow_of(*skb.parsed), observed,
+                          skb.ts.nic_rx >= 0 ? at - skb.ts.nic_rx : 0, at);
+  }
 #endif
   sim::Duration extra =
       deliver_frame(skb, skb.buf.bytes(), skb.parsed ? &*skb.parsed : nullptr,
@@ -53,16 +68,24 @@ sim::Duration SocketDeliverer::deliver_frame(
 #if PRISM_TELEMETRY_ENABLED
   // Per-flow accounting (one record per wire frame, so a GRO train
   // counts each merged segment). e2e < 0 skips the latency histogram
-  // for synthetically injected skbs without a nic_rx stamp.
-  const auto account = [&](bool delivered_ok) {
+  // for synthetically injected skbs without a nic_rx stamp. `reason` is
+  // the fault::DropReason code on failure (-1 on success), threaded into
+  // the flow table's drop history and the flight recorder.
+  const auto account = [&](bool delivered_ok, int reason) {
+    if (!delivered_ok && recorder_ != nullptr && skb.traced) {
+      const int observed = skb.observed_class > skb.priority
+                               ? static_cast<int>(skb.observed_class)
+                               : skb.priority;
+      recorder_->on_drop(net::flow_of(*parsed), 4, observed, reason, at);
+    }
     if (flows_ == nullptr) return;
     flows_->record_frame(net::flow_of(*parsed), frame.size(),
                          skb.priority,
                          skb.ts.nic_rx >= 0 ? at - skb.ts.nic_rx : -1, at,
-                         delivered_ok);
+                         delivered_ok, reason);
   };
 #else
-  const auto account = [](bool) {};
+  const auto account = [](bool, int) {};
 #endif
   if (parsed->udp) {
     // Receive-side L4 validation: a UDP checksum of zero means "not
@@ -80,7 +103,7 @@ sim::Duration SocketDeliverer::deliver_frame(
       if (faults_ != nullptr) {
         faults_->drops.record(fault::DropReason::kChecksum, skb.priority);
       }
-      account(false);
+      account(false, static_cast<int>(fault::DropReason::kChecksum));
       return 0;
     }
     UdpSocket* sock = ns.sockets().lookup_udp(parsed->udp->dst_port);
@@ -90,7 +113,7 @@ sim::Duration SocketDeliverer::deliver_frame(
       if (faults_ != nullptr) {
         faults_->drops.record(fault::DropReason::kNoSocket, skb.priority);
       }
-      account(false);
+      account(false, static_cast<int>(fault::DropReason::kNoSocket));
       return 0;
     }
 #if PRISM_FAULTS_ENABLED
@@ -99,7 +122,7 @@ sim::Duration SocketDeliverer::deliver_frame(
       // kernel's sk_rmem allocation failure, dropped before any datagram
       // state exists.
       faults_->drops.record(fault::DropReason::kAllocFail, skb.priority);
-      account(false);
+      account(false, static_cast<int>(fault::DropReason::kAllocFail));
       return 0;
     }
 #endif
@@ -119,7 +142,7 @@ sim::Duration SocketDeliverer::deliver_frame(
 #if PRISM_OVERLOAD_ENABLED
     if (governor_ != nullptr) governor_->note_delivery();
 #endif
-    account(true);
+    account(true, -1);
     return 0;
   }
   if (parsed->tcp) {
@@ -133,7 +156,7 @@ sim::Duration SocketDeliverer::deliver_frame(
       if (faults_ != nullptr) {
         faults_->drops.record(fault::DropReason::kChecksum, skb.priority);
       }
-      account(false);
+      account(false, static_cast<int>(fault::DropReason::kChecksum));
       return 0;
     }
     TcpEndpoint* ep = ns.sockets().lookup_tcp(net::flow_of(*parsed));
@@ -143,7 +166,7 @@ sim::Duration SocketDeliverer::deliver_frame(
       if (faults_ != nullptr) {
         faults_->drops.record(fault::DropReason::kNoSocket, skb.priority);
       }
-      account(false);
+      account(false, static_cast<int>(fault::DropReason::kNoSocket));
       return 0;
     }
     ++delivered_;
@@ -151,7 +174,7 @@ sim::Duration SocketDeliverer::deliver_frame(
 #if PRISM_OVERLOAD_ENABLED
     if (governor_ != nullptr) governor_->note_delivery();
 #endif
-    account(true);
+    account(true, -1);
     return ep->handle_segment(*parsed->tcp, parsed->l4_payload, at,
                               final_frame);
   }
@@ -160,7 +183,7 @@ sim::Duration SocketDeliverer::deliver_frame(
   if (faults_ != nullptr) {
     faults_->drops.record(fault::DropReason::kNoSocket, skb.priority);
   }
-  account(false);
+  account(false, static_cast<int>(fault::DropReason::kNoSocket));
   return 0;
 }
 

@@ -21,6 +21,8 @@ class Netns;
 namespace prism::telemetry {
 class LatencyLedger;
 class FlowTable;
+class FlightRecorder;
+class AnomalyBank;
 }
 
 namespace prism::fault {
@@ -50,6 +52,18 @@ class SocketDeliverer {
                    telemetry::FlowTable* flows) noexcept {
     ledger_ = ledger;
     flows_ = flows;
+  }
+
+  /// Attaches the flight recorder (traced journeys end here with a
+  /// deliver event; traced protocol-level drops are recorded as stage-4
+  /// drops) and the anomaly bank, which sees EVERY delivery — the SLO
+  /// detector evaluates the full population, not the sampled one.
+  /// nullptr detaches.
+  void set_flight_recorder(telemetry::FlightRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+  void set_anomalies(telemetry::AnomalyBank* anomalies) noexcept {
+    anomalies_ = anomalies;
   }
 
   /// Delivers every frame carried by `skb` (head + GRO chain) to sockets
@@ -96,6 +110,8 @@ class SocketDeliverer {
   trace::PacketTrace* trace_ = nullptr;
   telemetry::LatencyLedger* ledger_ = nullptr;
   telemetry::FlowTable* flows_ = nullptr;
+  telemetry::FlightRecorder* recorder_ = nullptr;
+  telemetry::AnomalyBank* anomalies_ = nullptr;
   fault::FaultLayer* faults_ = nullptr;
   OverloadGovernor* governor_ = nullptr;
   std::uint64_t drops_ = 0;

@@ -76,8 +76,35 @@ struct Skb {
   /// are invalidated by any mutation of `buf`.
   std::optional<net::ParsedFrame> parsed;
 
+  /// Flight-recorder sampling decision, made once at stage-1 dequeue so
+  /// later stages test one bool instead of re-hashing the flow.
+  bool traced = false;
+
+  /// Priority class as the recorder sees it: equals `priority` in Prism
+  /// modes; in vanilla mode (which never classifies, priority stays 0)
+  /// the recorder classifies on the side so inversions suffered by
+  /// would-be-high flows are attributable. Never consulted by the
+  /// datapath — observability only.
+  std::int8_t observed_class = 0;
+
+  /// Priority class at the head of the stage queue when this skb was
+  /// enqueued (-1 = queue was empty). Replayed at dequeue so the
+  /// inversion detector knows what the skb waited behind.
+  std::int8_t head_class_at_enqueue = -1;
+
   SkbTimestamps ts;
 };
+
+/// Latest completed-stage stamp of `skb` — the instant it was handed to
+/// whatever queue it currently sits in. Used by the flight recorder to
+/// date enqueues and measure queue waits without widening the enqueue
+/// API with a time parameter.
+inline sim::Time last_done_stamp(const Skb& skb) noexcept {
+  if (skb.ts.stage2_done >= 0) return skb.ts.stage2_done;
+  if (skb.ts.stage1_done >= 0) return skb.ts.stage1_done;
+  if (skb.ts.nic_rx >= 0) return skb.ts.nic_rx;
+  return 0;
+}
 
 /// Deleter that hands the Skb back to the process-global SkbPool
 /// (kernel/skb_pool.h) instead of freeing it. Stateless, so SkbPtr can be

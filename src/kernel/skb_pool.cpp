@@ -41,6 +41,9 @@ void SkbPool::release(Skb* skb) {
   skb->dst_netns = nullptr;
   skb->stage = 0;
   skb->parsed.reset();
+  skb->traced = false;
+  skb->observed_class = 0;
+  skb->head_class_at_enqueue = -1;
   skb->ts = SkbTimestamps{};
   pool_.release(skb);
 }

@@ -3,9 +3,23 @@
 #include <iterator>
 #include <stdexcept>
 
+#include "fault/fault.h"
 #include "telemetry/json_writer.h"
 
 namespace prism::telemetry {
+
+std::vector<int> FlowTable::Entry::recent_drop_reasons() const {
+  const std::size_t n =
+      drops < kDropHistory ? static_cast<std::size_t>(drops) : kDropHistory;
+  std::vector<int> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(last_drop_reasons[(drop_history_head + kDropHistory - 1 -
+                                     i) %
+                                    kDropHistory]);
+  }
+  return out;
+}
 
 FlowTable::FlowTable(std::size_t capacity) : capacity_(capacity) {
   if (capacity == 0) {
@@ -38,6 +52,8 @@ FlowTable::Entry& FlowTable::touch(const net::FiveTuple& flow,
     e.first_seen = at;
     e.last_seen = at;
     e.latency.reset();
+    e.last_drop_reasons.fill(0);
+    e.drop_history_head = 0;
     index_.emplace(flow, lru_.begin());
     return e;
   }
@@ -69,16 +85,21 @@ void FlowTable::record(const net::FiveTuple& flow, std::size_t bytes,
 }
 
 void FlowTable::record_drop(const net::FiveTuple& flow, int level,
-                            sim::Time at) {
+                            sim::Time at, int reason) {
 #if PRISM_TELEMETRY_ENABLED
   if (!enabled_) return;
   Entry& e = touch(flow, at);
   e.level = level;
   ++e.drops;
+  e.last_drop_reasons[e.drop_history_head] =
+      static_cast<std::int8_t>(reason);
+  e.drop_history_head = static_cast<std::uint8_t>(
+      (e.drop_history_head + 1) % kDropHistory);
 #else
   (void)flow;
   (void)level;
   (void)at;
+  (void)reason;
 #endif
 }
 
@@ -122,6 +143,14 @@ void write_flow_table_json(JsonWriter& w, const FlowTable& table) {
     w.member("latency_p50_ns", e->latency.percentile(0.50));
     w.member("latency_p99_ns", e->latency.percentile(0.99));
     w.member("latency_max_ns", e->latency.max());
+    w.key("last_drop_reasons").begin_array();
+    for (const int code : e->recent_drop_reasons()) {
+      w.value(code >= 0 && code < static_cast<int>(fault::DropReason::kCount)
+                  ? fault::drop_reason_name(
+                        static_cast<fault::DropReason>(code))
+                  : "unknown");
+    }
+    w.end_array();
     w.end_object();
   }
   w.end_array();

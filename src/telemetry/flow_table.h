@@ -10,6 +10,7 @@
 // nothing.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <list>
 #include <string>
@@ -32,6 +33,9 @@ class FlowTable {
   /// keep capacity x histogram memory modest.
   static constexpr int kSubBucketBits = 4;
 
+  /// Drop reasons remembered per flow (newest-first window).
+  static constexpr std::size_t kDropHistory = 8;
+
   struct Entry {
     net::FiveTuple flow;
     int level = 0;  ///< priority class of the last accounted packet
@@ -41,6 +45,15 @@ class FlowTable {
     sim::Time first_seen = -1;
     sim::Time last_seen = -1;
     stats::Histogram latency{kSubBucketBits};  ///< end-to-end, ns
+    /// Last-N drop reasons as fault::DropReason codes (kept as ints so
+    /// this header stays fault-free), ring-ordered: the i-th most recent
+    /// is last_drop_reasons[(drop_history_head + N - 1 - i) % N]. Only
+    /// the first min(drops, N) slots are meaningful.
+    std::array<std::int8_t, kDropHistory> last_drop_reasons{};
+    std::uint8_t drop_history_head = 0;
+
+    /// Most-recent-first view of the recorded drop reasons.
+    std::vector<int> recent_drop_reasons() const;
   };
 
   explicit FlowTable(std::size_t capacity = kDefaultCapacity);
@@ -58,17 +71,21 @@ class FlowTable {
               sim::Duration e2e_ns, sim::Time at);
 
   /// Accounts one socket-layer drop (no bound socket / unparseable L4).
-  void record_drop(const net::FiveTuple& flow, int level, sim::Time at);
+  /// `reason` is the fault::DropReason code, remembered in the flow's
+  /// last-N history so "prism/flows" and the flight recorder agree on
+  /// WHY a flow's packets died, not just how many (-1 = unknown).
+  void record_drop(const net::FiveTuple& flow, int level, sim::Time at,
+                   int reason = -1);
 
   /// One call per wire frame from the deliverer: delivered frames count
   /// packets/bytes (+ latency), undeliverable frames count drops.
   void record_frame(const net::FiveTuple& flow, std::size_t bytes,
                     int level, sim::Duration e2e_ns, sim::Time at,
-                    bool delivered) {
+                    bool delivered, int drop_reason = -1) {
     if (delivered) {
       record(flow, bytes, level, e2e_ns, at);
     } else {
-      record_drop(flow, level, at);
+      record_drop(flow, level, at, drop_reason);
     }
   }
 

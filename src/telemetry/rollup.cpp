@@ -1,6 +1,7 @@
 #include "telemetry/rollup.h"
 
 #include <algorithm>
+#include <array>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -118,6 +119,48 @@ void write_merged_latency_json(
     w.end_object();
   }
   w.end_array();
+  w.end_object();
+}
+
+void write_merged_anomalies_json(
+    JsonWriter& w, const std::vector<const AnomalyBank*>& banks) {
+  constexpr auto kKinds = static_cast<std::size_t>(AnomalyKind::kCount);
+  std::array<std::uint64_t, kKinds> fired{};
+  std::uint64_t findings = 0;
+  std::uint64_t findings_dropped = 0;
+  sim::Duration worst_wait = 0;
+  const AnomalyBank* worst_bank = nullptr;
+  std::size_t hosts = 0;
+  for (const AnomalyBank* b : banks) {
+    if (b == nullptr) continue;
+    ++hosts;
+    for (std::size_t k = 0; k < kKinds; ++k) {
+      fired[k] += b->fired(static_cast<AnomalyKind>(k));
+    }
+    findings += b->findings().size();
+    findings_dropped += b->findings_dropped();
+    if (b->max_inversion_wait_ns() > worst_wait) {
+      worst_wait = b->max_inversion_wait_ns();
+      worst_bank = b;
+    }
+  }
+  w.begin_object();
+  w.member("hosts", static_cast<std::uint64_t>(hosts));
+  w.key("fired").begin_object();
+  std::uint64_t total = 0;
+  for (std::size_t k = 0; k < kKinds; ++k) {
+    w.member(anomaly_kind_name(static_cast<AnomalyKind>(k)), fired[k]);
+    total += fired[k];
+  }
+  w.end_object();
+  w.member("fired_total", total);
+  w.member("findings_retained", findings);
+  w.member("findings_dropped", findings_dropped);
+  w.member("max_inversion_wait_ns", static_cast<std::int64_t>(worst_wait));
+  w.member("worst_inversion_flow",
+           worst_bank != nullptr
+               ? worst_bank->worst_inversion_flow().to_string()
+               : std::string("none"));
   w.end_object();
 }
 

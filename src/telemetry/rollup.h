@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "telemetry/anomaly.h"
 #include "telemetry/latency.h"
 #include "telemetry/metrics.h"
 
@@ -51,6 +52,15 @@ void write_merged_registry_json(
 /// merged here.
 void write_merged_latency_json(
     JsonWriter& w, const std::vector<const LatencyLedger*>& ledgers);
+
+/// Sums the anomaly-detector firings of every bank (per kind and total),
+/// plus retained/overflowed finding counts and the fleet-wide worst
+/// inversion (the max across hosts, with the flow that suffered it).
+/// Findings themselves stay per-host — read each host's
+/// "prism/anomalies" for the frozen evidence; this is the fleet screen
+/// that tells the operator which host to open.
+void write_merged_anomalies_json(JsonWriter& w,
+                                 const std::vector<const AnomalyBank*>& banks);
 
 /// Writes the lane profiler document (the "prism/lanes" proc file):
 /// per-lane busy/events/window/inbox totals with critical-path

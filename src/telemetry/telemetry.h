@@ -2,6 +2,8 @@
 // latency attribution ledger, and per-flow accounting table.
 #pragma once
 
+#include "telemetry/anomaly.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/flow_table.h"
 #include "telemetry/latency.h"
 #include "telemetry/metrics.h"
@@ -19,6 +21,8 @@ struct Telemetry {
   SpanTracer tracer;
   LatencyLedger latency;
   FlowTable flows;
+  FlightRecorder recorder;
+  AnomalyBank anomalies;
 };
 
 }  // namespace prism::telemetry

@@ -4,6 +4,7 @@
 // and overload snapshots whether the lanes run on 1 OS thread or N.
 // Repeated parallel runs must also match each other — a data race that
 // leaked simulation state across lanes would show up here first.
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -15,6 +16,7 @@
 #include "harness/cluster.h"
 #include "harness/testbed.h"
 #include "sim/time.h"
+#include "telemetry/anomaly.h"
 
 namespace prism {
 namespace {
@@ -31,7 +33,10 @@ struct ClusterRun {
 
 /// Two pairs (4 hosts, 4 lanes) under asymmetric load, with wire faults
 /// and a small backlog (so overload control engages) on every server.
-ClusterRun run_cluster(int threads, std::uint64_t seed) {
+/// `arm_detectors` additionally arms the SLO and drop-burst detectors on
+/// every server, so the "prism/anomalies" documents carry findings.
+ClusterRun run_cluster(int threads, std::uint64_t seed,
+                       bool arm_detectors = false) {
   harness::ClusterConfig cc;
   cc.pairs = 2;
   cc.mode = kernel::NapiMode::kPrismBatch;
@@ -41,6 +46,14 @@ ClusterRun run_cluster(int threads, std::uint64_t seed) {
   cc.server_faults.wire_duplicate_rate = 0.005;
   cc.server_netdev_max_backlog = 128;
   harness::Cluster cluster(cc);
+  if (arm_detectors) {
+    telemetry::AnomalyConfig ac;
+    ac.slo_p99_ns = sim::microseconds(150);
+    ac.drop_burst_threshold = 4;
+    for (int p = 0; p < cluster.pairs(); ++p) {
+      cluster.server(p).anomalies().arm(ac);
+    }
+  }
 
   std::vector<std::unique_ptr<apps::SockperfServer>> servers;
   std::vector<std::unique_ptr<apps::SockperfClient>> clients;
@@ -123,6 +136,28 @@ TEST(ParallelDeterminismTest, OneThreadVsFourByteIdentical) {
     for (std::uint64_t replies : serial.replies) EXPECT_GT(replies, 0u);
     expect_same(serial, parallel);
   }
+}
+
+// The snapshots above discover surfaces through prism/telemetry/index
+// rather than a hard-coded list; the flight-recorder work added
+// "prism/anomalies". Assert the index actually lists it (so the
+// determinism net really covers it) and that armed-detector runs — SLO
+// and drop-burst detectors live, findings freezing recorder slices —
+// stay byte-identical between 1 and 4 threads.
+TEST(ParallelDeterminismTest, AnomalySurfaceIndexedAndDeterministicArmed) {
+  {
+    harness::Testbed tb{harness::TestbedConfig{}};
+    const auto paths = tb.server().proc().paths();
+    EXPECT_NE(std::find(paths.begin(), paths.end(), "prism/anomalies"),
+              paths.end())
+        << "prism/anomalies missing from prism/telemetry/index";
+  }
+  const ClusterRun serial = run_cluster(1, 5, /*arm_detectors=*/true);
+  const ClusterRun parallel = run_cluster(4, 5, /*arm_detectors=*/true);
+  for (const std::string& snap : serial.host_snapshots) {
+    EXPECT_NE(snap.find("prism/anomalies"), std::string::npos);
+  }
+  expect_same(serial, parallel);
 }
 
 TEST(ParallelDeterminismTest, RepeatedParallelRunsIdentical) {

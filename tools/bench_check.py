@@ -12,8 +12,10 @@ hardware_concurrency the result was measured on:
 The hc key matters: events/sec measured on a 1-core container and on a
 16-core bare-metal box are different quantities, and comparing across
 them would make the gate either blind or permanently red. When no
-baseline exists for the result's hc the check passes as ADVISORY —
-first run on a new hardware class records numbers, it cannot gate them.
+baseline exists for the result's hc the check cannot gate: it reports
+NO-BASELINE per file, prints a distinct summary line, and exits 3 so
+callers can tell "nothing regressed" (0) apart from "nothing was
+checked" (3). See tools/baselines/README.md for how to record one.
 
 Gated metrics are wall-clock throughputs (higher is better); a drop
 larger than --tolerance (default 15%) fails. Overhead fractions and
@@ -33,7 +35,8 @@ Usage:
     --update               (re)write the baseline from the result and
                            exit 0
 
-Exit codes: 0 pass/advisory, 1 regression, 2 bad invocation or input.
+Exit codes: 0 pass, 1 regression, 2 bad invocation or input,
+3 no baseline for this hardware_concurrency (nothing was gated).
 """
 
 import argparse
@@ -75,7 +78,8 @@ def gated_metrics(doc):
 def advisory_metrics(doc):
     """{name: value} reported for context but never gated."""
     out = {}
-    for block in ("telemetry_overhead", "lane_profiler_overhead"):
+    for block in ("telemetry_overhead", "flight_recorder_overhead",
+                  "lane_profiler_overhead"):
         b = doc.get(block, {})
         if "overhead_fraction" in b:
             out[block + ".overhead_fraction"] = b["overhead_fraction"]
@@ -110,8 +114,9 @@ def check_one(result_path, base_dir, tolerance, inject, update):
         return 0, 0
 
     if not os.path.exists(bp):
-        print("%s: ADVISORY — no baseline for hc=%s (%s); run with "
-              "--update on a reference machine to start gating"
+        print("%s: NO-BASELINE — no baseline for hc=%s (expected %s); "
+              "nothing gated. Record one with --update on a reference "
+              "machine (see tools/baselines/README.md)"
               % (bench, doc.get("hardware_concurrency"), bp))
         return 0, 1
 
@@ -162,18 +167,26 @@ def main(argv):
     args = ap.parse_args(argv)
 
     total_failures = 0
+    total_unbaselined = 0
     for path in args.results:
         try:
-            failures, _ = check_one(path, args.baselines, args.tolerance,
-                                    args.inject, args.update)
+            failures, unbaselined = check_one(
+                path, args.baselines, args.tolerance, args.inject,
+                args.update)
         except (OSError, ValueError) as e:
             print("%s: cannot check: %s" % (path, e))
             return 2
         total_failures += failures
+        total_unbaselined += unbaselined
 
     if total_failures:
         print("bench_check: %d metric(s) regressed" % total_failures)
         return 1
+    if total_unbaselined:
+        print("bench_check: NO-BASELINE for %d result file(s) on this "
+              "hardware class — nothing was gated (exit 3)"
+              % total_unbaselined)
+        return 3
     print("bench_check: all gated metrics within tolerance")
     return 0
 
