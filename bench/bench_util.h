@@ -1,6 +1,7 @@
 // Shared helpers for the figure-reproduction benches.
 #pragma once
 
+#include <charconv>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -17,44 +18,74 @@
 
 namespace prism::bench {
 
+/// Strict decimal parse of a full C string (optional leading '-', no
+/// whitespace, no trailing garbage, no overflow). `what` names the flag
+/// or environment variable in the error; malformed input terminates the
+/// bench with exit code 2 instead of silently running with a default —
+/// a mistyped `--threads=abc` or `PRISM_SEED=1e6` must not produce a
+/// plausible-looking result under the wrong configuration.
+inline long parse_long_or_die(const char* text, const char* what) {
+  const char* end = text + std::strlen(text);
+  long value = 0;
+  const auto [ptr, ec] = std::from_chars(text, end, value, 10);
+  if (ec == std::errc::result_out_of_range) {
+    std::fprintf(stderr, "error: %s: value '%s' out of range\n", what,
+                 text);
+    std::exit(2);
+  }
+  if (ec != std::errc{} || ptr != end || text == end) {
+    std::fprintf(stderr,
+                 "error: %s: expected an integer, got '%s'\n", what, text);
+    std::exit(2);
+  }
+  return value;
+}
+
 /// Parses `--threads N` / `--threads=N` (or the PRISM_THREADS environment
 /// variable; the flag wins) and installs the result as the harness-wide
 /// default engine via harness::set_default_threads(). Every scenario the
 /// bench runs then picks the parallel lane backend when N >= 2, with no
 /// per-bench plumbing. Returns the resolved count (default 1: classic
-/// single-threaded engine). Call first thing in main().
+/// single-threaded engine). Malformed or non-positive values exit with
+/// an error. Call first thing in main().
 inline int parse_threads(int argc, char** argv) {
-  int threads = 1;
+  long threads = 1;
   if (const char* env = std::getenv("PRISM_THREADS")) {
-    threads = std::atoi(env);
+    threads = parse_long_or_die(env, "PRISM_THREADS");
   }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      threads = std::atoi(argv[i + 1]);
+      threads = parse_long_or_die(argv[i + 1], "--threads");
     } else if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      threads = std::atoi(argv[i] + 10);
+      threads = parse_long_or_die(argv[i] + 10, "--threads");
     }
   }
-  if (threads < 1) threads = 1;
-  harness::set_default_threads(threads);
-  if (threads > 1) {
-    std::printf("engine: parallel lanes on %d threads\n\n", threads);
+  if (threads < 1 || threads > 1024) {
+    std::fprintf(stderr, "error: --threads: %ld not in [1, 1024]\n",
+                 threads);
+    std::exit(2);
   }
-  return threads;
+  harness::set_default_threads(static_cast<int>(threads));
+  if (threads > 1) {
+    std::printf("engine: parallel lanes on %d threads\n\n",
+                static_cast<int>(threads));
+  }
+  return static_cast<int>(threads);
 }
 
 /// Generic `--flag N` / `--flag=N` integer parser for the bench flags
-/// below. Returns `fallback` when the flag is absent or malformed.
+/// below. Returns `fallback` when the flag is absent; a present flag
+/// with a malformed value exits with an error.
 inline long parse_long_flag(int argc, char** argv, const char* flag,
                             long fallback) {
   const std::size_t len = std::strlen(flag);
   long value = fallback;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
-      value = std::atol(argv[i + 1]);
+      value = parse_long_or_die(argv[i + 1], flag);
     } else if (std::strncmp(argv[i], flag, len) == 0 &&
                argv[i][len] == '=') {
-      value = std::atol(argv[i] + len + 1);
+      value = parse_long_or_die(argv[i] + len + 1, flag);
     }
   }
   return value;
@@ -87,12 +118,19 @@ inline sim::Duration parse_inversion_us(int argc, char** argv,
 }
 
 /// `--seed S`: fault-injection seed for the detector-armed runs (also
-/// honors PRISM_SEED; the flag wins). Default 1.
+/// honors PRISM_SEED; the flag wins). Default 1. Malformed or
+/// non-positive values exit with an error.
 inline std::uint64_t parse_seed(int argc, char** argv) {
   long seed = 1;
-  if (const char* env = std::getenv("PRISM_SEED")) seed = std::atol(env);
+  if (const char* env = std::getenv("PRISM_SEED")) {
+    seed = parse_long_or_die(env, "PRISM_SEED");
+  }
   seed = parse_long_flag(argc, argv, "--seed", seed);
-  return seed > 0 ? static_cast<std::uint64_t>(seed) : 1;
+  if (seed < 1) {
+    std::fprintf(stderr, "error: --seed: %ld must be >= 1\n", seed);
+    std::exit(2);
+  }
+  return static_cast<std::uint64_t>(seed);
 }
 
 inline std::string us(std::int64_t ns) {

@@ -21,25 +21,37 @@ int main(int argc, char** argv) {
   const double rates_kpps[] = {0, 10, 25, 50, 100, 150, 200,
                                250, 300, 350, 400, 450};
 
-  for (const auto mode :
-       {kernel::NapiMode::kVanilla, kernel::NapiMode::kPrismSync}) {
-    std::printf("mode: %s\n", kernel::to_string(mode));
+  // Three arms: the paper's vanilla/PRISM-sync pair, plus PRISM-sync
+  // with the overlay flow cache on (cached flows skip stages 2-3; the
+  // fc-hit column reports the server cache's steady-state hit rate).
+  const struct {
+    kernel::NapiMode mode;
+    bool cache;
+    const char* label;
+  } arms[] = {{kernel::NapiMode::kVanilla, false, "vanilla"},
+              {kernel::NapiMode::kPrismSync, false, "prism-sync"},
+              {kernel::NapiMode::kPrismSync, true, "prism-sync + cache"}};
+  for (const auto& arm : arms) {
+    std::printf("mode: %s\n", arm.label);
     stats::Table table({"bg rate (Kpps)", "rx-cpu", "min(us)", "mean(us)",
-                        "p99(us)", "ring drops"});
+                        "p99(us)", "ring drops", "fc-hit"});
     telemetry::LatencyBreakdown at_300;
     for (const double r : rates_kpps) {
       harness::PriorityScenarioConfig cfg;
-      cfg.mode = mode;
+      cfg.mode = arm.mode;
       cfg.busy = r > 0;
       cfg.bg_rate_pps = r * 1e3;
       cfg.duration = sim::milliseconds(300);
       cfg.latency_window = sim::milliseconds(25);
+      cfg.flow_cache = arm.cache;
       const auto res = harness::run_priority_scenario(cfg);
       const auto s = stats::summarize(res.latency);
       table.add_row({stats::Table::cell(r, 0),
                      bench::pct(res.rx_cpu_utilization), bench::us(s.min_ns),
                      bench::us(s.mean_ns), bench::us(s.p99_ns),
-                     std::to_string(res.server_ring_drops)});
+                     std::to_string(res.server_ring_drops),
+                     arm.cache ? bench::pct(res.server_flowcache_hit_rate)
+                               : "-"});
       if (r == 300) at_300 = res.server_latency;
     }
     std::printf("%s\n", table.render().c_str());

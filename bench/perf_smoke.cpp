@@ -73,6 +73,10 @@ struct PointResult {
   double wall_s = 0;
   std::uint64_t events = 0;
   std::uint64_t packets = 0;
+  /// Server overlay flow-cache counters (zero when the cache is off).
+  std::uint64_t fc_hits = 0;
+  std::uint64_t fc_misses = 0;
+  double fc_hit_rate = 0.0;
 
   double events_per_sec() const { return wall_s > 0 ? events / wall_s : 0; }
   double packets_per_sec() const {
@@ -96,9 +100,11 @@ struct PointResult {
 PointResult run_point(double bg_rate_pps, sim::Duration duration,
                       bool full_telemetry = false,
                       std::string* telemetry_block = nullptr,
-                      bool flight_recorder = false) {
+                      bool flight_recorder = false,
+                      bool flow_cache = false) {
   harness::TestbedConfig tc;
   tc.mode = kernel::NapiMode::kPrismSync;
+  tc.flow_cache = flow_cache;
   // This bench is the single-threaded hot-path baseline (and the seed
   // comparison was measured on the classic engine), so it pins the
   // engine regardless of any --threads/PRISM_THREADS default.
@@ -196,6 +202,9 @@ PointResult run_point(double bg_rate_pps, sim::Duration duration,
   r.wall_s = std::chrono::duration<double>(t1 - t0).count();
   r.events = tb.sim().events_executed();
   r.packets = bg_server.received() + probe_client.replies();
+  r.fc_hits = tb.server().flow_cache().hits();
+  r.fc_misses = tb.server().flow_cache().misses();
+  r.fc_hit_rate = tb.server().flow_cache().hit_rate();
   return r;
 }
 
@@ -205,11 +214,11 @@ PointResult run_point(double bg_rate_pps, sim::Duration duration,
 PointResult best_of(double bg_rate_pps, sim::Duration duration, int reps,
                     bool full_telemetry = false,
                     std::string* telemetry_block = nullptr,
-                    bool flight_recorder = false) {
+                    bool flight_recorder = false, bool flow_cache = false) {
   PointResult best;
   for (int i = 0; i < reps; ++i) {
     PointResult p = run_point(bg_rate_pps, duration, full_telemetry,
-                              telemetry_block, flight_recorder);
+                              telemetry_block, flight_recorder, flow_cache);
     if (best.wall_s == 0 || p.wall_s < best.wall_s) best = p;
   }
   return best;
@@ -368,6 +377,16 @@ int main(int argc, char** argv) {
       best_of(kHighLoadKpps * 1e3, sim::milliseconds(200), kRepsPerPoint,
               /*full_telemetry=*/false, nullptr, /*flight_recorder=*/true);
 
+  // A/B: overlay flow cache on vs off at the high-load point. The fast
+  // path skips stages 2-3 entirely for cached flows, so it removes both
+  // simulated cost *and* simulated events per packet: packets/s is the
+  // honest throughput metric here (events/s divides a smaller event count
+  // by a smaller wall time).
+  const PointResult cache_on =
+      best_of(kHighLoadKpps * 1e3, sim::milliseconds(200), kRepsPerPoint,
+              /*full_telemetry=*/false, nullptr, /*flight_recorder=*/false,
+              /*flow_cache=*/true);
+
   // A/B: lane-profiler recording cost on the lane engine (one pair, one
   // thread, same high-load workload), interleaved so machine noise hits
   // both arms alike. Target: <= 3%, same budget as the telemetry layer.
@@ -394,9 +413,24 @@ int main(int argc, char** argv) {
           : 0.0;
   const std::uint64_t rss = peak_rss_bytes();
 
+  const double cache_events_speedup =
+      high.events_per_sec() > 0
+          ? cache_on.events_per_sec() / high.events_per_sec()
+          : 0.0;
+  const double cache_packets_speedup =
+      high.packets_per_sec() > 0
+          ? cache_on.packets_per_sec() / high.packets_per_sec()
+          : 0.0;
+
   std::printf("high-load ev/s=%.0f  seed ev/s=%.0f  speedup=%.2fx\n",
               high.events_per_sec(), kSeedEventsPerSec, speedup);
   std::printf("pool-disabled ev/s=%.0f\n", no_pool.events_per_sec());
+  std::printf(
+      "flow-cache on: ev/s=%.0f (%.2fx)  pkts/s=%.0f (%.2fx)  "
+      "hit_rate=%.2f%%\n",
+      cache_on.events_per_sec(), cache_events_speedup,
+      cache_on.packets_per_sec(), cache_packets_speedup,
+      100.0 * cache_on.fc_hit_rate);
   std::printf("telemetry-on ev/s=%.0f  overhead=%.2f%% (target <= %.0f%%)%s\n",
               telem_on.events_per_sec(), telem_overhead * 100.0,
               kTelemetryOverheadTarget * 100.0,
@@ -476,6 +510,19 @@ int main(int argc, char** argv) {
   w.member("overhead_fraction", profiler_overhead);
   w.member("target_fraction", kTelemetryOverheadTarget);
   w.member("within_target", profiler_overhead <= kTelemetryOverheadTarget);
+  w.end_object();
+  w.key("flow_cache");
+  w.begin_object();
+  w.member("compiled_in", static_cast<bool>(PRISM_FLOWCACHE_ENABLED));
+  w.member("baseline_events_per_sec", high.events_per_sec());
+  w.member("baseline_packets_per_sec", high.packets_per_sec());
+  w.member("cache_events_per_sec", cache_on.events_per_sec());
+  w.member("cache_packets_per_sec", cache_on.packets_per_sec());
+  w.member("events_speedup", cache_events_speedup);
+  w.member("packets_speedup", cache_packets_speedup);
+  w.member("hits", cache_on.fc_hits);
+  w.member("misses", cache_on.fc_misses);
+  w.member("hit_rate", cache_on.fc_hit_rate);
   w.end_object();
   w.key("overload");
   w.begin_object();

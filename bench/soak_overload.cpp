@@ -544,7 +544,12 @@ int main_impl(int argc, char** argv) {
     if (std::strcmp(argv[i], "--short") == 0) {
       shortened = true;
     } else {
-      seed = std::strtoull(argv[i], nullptr, 10);
+      const long v = parse_long_or_die(argv[i], "seed");
+      if (v < 1) {
+        std::fprintf(stderr, "error: seed: %ld must be >= 1\n", v);
+        return 2;
+      }
+      seed = static_cast<std::uint64_t>(v);
     }
   }
   print_header("soak_overload",

@@ -294,8 +294,15 @@ void determinism(std::uint64_t seed) {
 }
 
 int main_impl(int argc, char** argv) {
-  const std::uint64_t seed =
-      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+  std::uint64_t seed = 1;
+  if (argc > 1) {
+    const long v = parse_long_or_die(argv[1], "seed");
+    if (v < 1) {
+      std::fprintf(stderr, "error: seed: %ld must be >= 1\n", v);
+      return 2;
+    }
+    seed = static_cast<std::uint64_t>(v);
+  }
   print_header("stress_fault",
                "fault-rate sweep with per-class conservation checks");
 #if !PRISM_FAULTS_ENABLED

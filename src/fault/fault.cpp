@@ -217,7 +217,12 @@ std::string faults_json(const FaultLayer& layer) {
   w.begin_object();
   w.member("compiled_in", PRISM_FAULTS_ENABLED != 0);
   w.member("active", plan.active());
-  w.member("seed", plan.config().seed);
+  // A compiled-out plan never draws from its RNG, so the configured seed
+  // is inert; rendering it would make behaviourally identical runs
+  // snapshot differently (the determinism suite diffs this document).
+  w.member("seed",
+           PRISM_FAULTS_ENABLED != 0 ? plan.config().seed
+                                     : std::uint64_t{0});
   w.key("injected").begin_object();
   w.member("wire_drops", c.wire_drops);
   w.member("wire_corrupts", c.wire_corrupts);

@@ -21,6 +21,7 @@ kernel::HostConfig pair_client_config(const ClusterConfig& cfg, int pair) {
   h.cost = cfg.cost;
   h.nic_ring_capacity = cfg.nic_ring_capacity;
   h.coalesce = cfg.coalesce;
+  h.flow_cache = cfg.flow_cache;
   return h;
 }
 
@@ -38,6 +39,7 @@ kernel::HostConfig pair_server_config(const ClusterConfig& cfg, int pair) {
   h.faults = cfg.server_faults;
   h.netdev_max_backlog = cfg.server_netdev_max_backlog;
   h.overload = cfg.server_overload;
+  h.flow_cache = cfg.flow_cache;
   return h;
 }
 

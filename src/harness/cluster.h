@@ -51,6 +51,8 @@ struct ClusterConfig {
   /// Overload control + backlog sizing on every server host.
   kernel::OverloadConfig server_overload;
   std::size_t server_netdev_max_backlog = 1000;
+  /// Overlay flow cache (ONCache-style stage-1 fast path) on every host.
+  bool flow_cache = false;
 };
 
 /// P client/server pairs, 2P hosts, 2P lanes.

@@ -63,11 +63,23 @@ AnomalySummary anomaly_summary_of(Testbed& tb) {
   return s;
 }
 
+/// Copies the server's flow-cache counters into a result's
+/// server_flowcache_* fields (any result type that has them).
+template <typename Result>
+void fill_flowcache_stats(Result& result, Testbed& tb) {
+  const overlay::FlowCache& fc = tb.server().flow_cache();
+  result.server_flowcache_hits = fc.hits();
+  result.server_flowcache_misses = fc.misses();
+  result.server_flowcache_invalidations = fc.invalidations();
+  result.server_flowcache_hit_rate = fc.hit_rate();
+}
+
 }  // namespace
 
 PriorityScenarioResult run_priority_scenario(
     const PriorityScenarioConfig& cfg) {
   TestbedConfig tc = testbed_config(cfg.cost, cfg.mode, cfg.threads);
+  tc.flow_cache = cfg.flow_cache;
   if (cfg.wire_drop_rate > 0 || cfg.wire_dup_rate > 0) {
     tc.server_faults.wire_drop_rate = cfg.wire_drop_rate;
     tc.server_faults.wire_duplicate_rate = cfg.wire_dup_rate;
@@ -174,6 +186,7 @@ PriorityScenarioResult run_priority_scenario(
   result.bg_received = bg_server.received();
   result.server_ring_drops = tb.server().nic().rx_dropped();
   result.server_latency = tb.server().latency_ledger().snapshot();
+  fill_flowcache_stats(result, tb);
   result.server_anomalies = anomaly_summary_of(tb);
   if (cfg.arm_detectors) {
     result.server_anomalies_json = telemetry::anomalies_json(
@@ -200,7 +213,9 @@ PriorityScenarioResult run_priority_scenario(
 
 StreamlinedScenarioResult run_streamlined_scenario(
     const StreamlinedScenarioConfig& cfg) {
-  Testbed tb(testbed_config(cfg.cost, cfg.mode, cfg.threads));
+  TestbedConfig tc = testbed_config(cfg.cost, cfg.mode, cfg.threads);
+  tc.flow_cache = cfg.flow_cache;
+  Testbed tb(tc);
   reset_latency_at_warmup(tb, cfg.warmup);
   const sim::Time t_end = cfg.warmup + cfg.duration;
 
@@ -270,6 +285,7 @@ StreamlinedScenarioResult run_streamlined_scenario(
   result.rx_cpu_utilization = utilization;
   result.server_ring_drops = tb.server().nic().rx_dropped();
   result.server_latency = tb.server().latency_ledger().snapshot();
+  fill_flowcache_stats(result, tb);
   return result;
 }
 

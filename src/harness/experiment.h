@@ -49,6 +49,8 @@ struct PriorityScenarioConfig {
   /// Simulation engine (TestbedConfig::threads): 0 = harness default,
   /// 1 = classic shared simulator, >= 2 = parallel lane backend.
   int threads = 0;
+  /// Overlay flow cache on both hosts (ONCache-style stage-1 fast path).
+  bool flow_cache = false;
   /// Arm the server's flight recorder + anomaly-detector bank with the
   /// settings below (otherwise both keep their always-on defaults:
   /// sample 1/64, inversion threshold 100 us, no SLO target). Detectors
@@ -113,6 +115,12 @@ struct PriorityScenarioResult {
   /// The server's full "prism/anomalies" document (findings + frozen
   /// evidence), filled when arm_detectors.
   std::string server_anomalies_json;
+  /// Server overlay flow-cache counters over the whole run (zero when the
+  /// cache is off or compiled out).
+  std::uint64_t server_flowcache_hits = 0;
+  std::uint64_t server_flowcache_misses = 0;
+  std::uint64_t server_flowcache_invalidations = 0;
+  double server_flowcache_hit_rate = 0.0;
 };
 
 PriorityScenarioResult run_priority_scenario(
@@ -134,6 +142,8 @@ struct StreamlinedScenarioConfig {
   kernel::CostModel cost{};
   /// Simulation engine (TestbedConfig::threads): 0 = harness default.
   int threads = 0;
+  /// Overlay flow cache on both hosts (ONCache-style stage-1 fast path).
+  bool flow_cache = false;
 };
 
 struct StreamlinedScenarioResult {
@@ -144,6 +154,12 @@ struct StreamlinedScenarioResult {
   std::uint64_t server_ring_drops = 0;
   /// Server-side per-stage latency attribution (warmup excluded).
   telemetry::LatencyBreakdown server_latency;
+  /// Server overlay flow-cache counters over the whole run (zero when the
+  /// cache is off or compiled out).
+  std::uint64_t server_flowcache_hits = 0;
+  std::uint64_t server_flowcache_misses = 0;
+  std::uint64_t server_flowcache_invalidations = 0;
+  double server_flowcache_hit_rate = 0.0;
 };
 
 StreamlinedScenarioResult run_streamlined_scenario(

@@ -18,6 +18,7 @@ kernel::HostConfig client_config(const TestbedConfig& cfg) {
   h.cost = cfg.cost;
   h.nic_ring_capacity = cfg.nic_ring_capacity;
   h.coalesce = cfg.coalesce;
+  h.flow_cache = cfg.flow_cache;
   return h;
 }
 
@@ -36,6 +37,7 @@ kernel::HostConfig server_config(const TestbedConfig& cfg) {
   h.faults = cfg.server_faults;
   h.netdev_max_backlog = cfg.server_netdev_max_backlog;
   h.overload = cfg.server_overload;
+  h.flow_cache = cfg.flow_cache;
   return h;
 }
 

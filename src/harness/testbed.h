@@ -64,6 +64,9 @@ struct TestbedConfig {
   /// Overload control on the server under test (watermarks, flow_limit,
   /// watchdog; kernel/overload.h).
   kernel::OverloadConfig server_overload;
+  /// Overlay flow cache (ONCache-style stage-1 fast path) on both hosts.
+  /// Off by default so baselines measure the full pipeline.
+  bool flow_cache = false;
   /// Simulation engine: 0 = use harness::default_threads(); 1 = classic
   /// shared simulator; >= 2 = parallel lanes (client lane 0, server lane
   /// 1) run on that many OS threads (clamped to the lane count).

@@ -72,6 +72,16 @@ struct CostModel {
   /// (paid instead of the full per-stage cost for that segment).
   sim::Duration gro_merge_per_segment = sim::nanoseconds(250);
 
+  // --- overlay flow cache (ONCache-style fast path) -----------------------
+  /// Probe of the per-flow transform cache at stage 1: one hash of the
+  /// decapsulated five-tuple plus a generation compare. Paid by every
+  /// overlay packet while the cache is enabled, hit or miss.
+  sim::Duration flowcache_lookup = sim::nanoseconds(60);
+  /// Applying a cached transform on a hit: in-place decap, netns/priority
+  /// from the entry, direct socket delivery. Replaces the bridge +
+  /// backlog stage walk and the stage-transition machinery.
+  sim::Duration flowcache_fast_path = sim::nanoseconds(350);
+
   // --- kernel/user boundary ----------------------------------------------
   /// Waking a task blocked in recv*: scheduler enqueue + IPI to the app
   /// core + context switch on arrival.

@@ -128,6 +128,18 @@ Host::Host(sim::Simulator& sim, HostConfig config)
   deliverer_->set_governor(governor_.get());
 #endif
 
+  // Overlay flow cache: always constructed (stable counter and accessor
+  // surface), consulted by the datapath only when cfg_.flow_cache enables
+  // it. Invalidation fans in from every transform-changing event: FDB
+  // mutations (hook installed per bridge), priority-db mutations (hook
+  // below), overlay-route changes, NAPI mode switches, and fault-injected
+  // decap corruption (nic_napi).
+  flow_cache_ =
+      std::make_unique<overlay::FlowCache>(cfg_.flow_cache_capacity);
+  flow_cache_->set_enabled(cfg_.flow_cache);
+  flow_cache_->bind_telemetry(telemetry_.registry, "flowcache.");
+  priority_db_.set_mutation_hook([this] { flow_cache_->invalidate(); });
+
   // Per-CPU softirq machinery.
   for (int i = 0; i < cfg_.num_cpus; ++i) {
     auto pc = std::make_unique<PerCpu>();
@@ -175,6 +187,7 @@ Host::Host(sim::Simulator& sim, HostConfig config)
     ctx.ledger = &telemetry_.latency;
     ctx.recorder = &telemetry_.recorder;
     ctx.faults = &faults_;
+    ctx.flow_cache = flow_cache_.get();
     ctx.vxlan_lookup = [this, cpu_idx](std::uint32_t vni) -> QueueNapi* {
       const auto it = bridges_.find(vni);
       return it == bridges_.end() ? nullptr
@@ -260,6 +273,9 @@ Host::~Host() = default;
 
 void Host::set_mode(NapiMode mode) {
   for (auto& pc : per_cpu_) pc->engine->set_mode(mode);
+  // Vanilla never classifies on the datapath while PRISM modes do, so
+  // priorities cached under the old mode are wrong under the new one.
+  flow_cache_->invalidate();
 }
 
 NapiMode Host::mode() const noexcept {
@@ -271,6 +287,9 @@ overlay::Bridge& Host::bridge(std::uint32_t vni) {
   if (it == bridges_.end()) {
     BridgeBundle bundle;
     bundle.fdb = std::make_unique<overlay::Fdb>();
+    // Any FDB mutation (add/remap/remove) voids every cached transform;
+    // the flow cache re-resolves through the slow path on next use.
+    bundle.fdb->set_mutation_hook([this] { flow_cache_->invalidate(); });
     std::vector<StageTransition*> transitions;
     std::vector<QueueNapi*> backlogs;
     for (auto& pc : per_cpu_) {
@@ -287,6 +306,7 @@ overlay::Bridge& Host::bridge(std::uint32_t vni) {
       bundle.bridge->cell(c).bind_telemetry(telemetry_.registry,
                                             prefix + "cell.");
       bundle.bridge->stage(c).set_faults(&faults_);
+      bundle.bridge->stage(c).set_flow_cache(flow_cache_.get(), vni);
       bundle.bridge->cell(c).set_faults(&faults_);
       bundle.bridge->cell(c).set_flight_recorder(&telemetry_.recorder,
                                                  /*stage=*/2);
@@ -310,6 +330,11 @@ overlay::Bridge& Host::bridge(std::uint32_t vni) {
   return *it->second.bridge;
 }
 
+overlay::Fdb& Host::fdb(std::uint32_t vni) {
+  bridge(vni);  // ensure it exists
+  return *bridges_.at(vni).fdb;
+}
+
 overlay::Netns& Host::add_container(const std::string& name,
                                     net::Ipv4Addr ip, std::uint32_t vni) {
   bridge(vni);  // ensure it exists
@@ -331,6 +356,9 @@ void Host::add_overlay_route(std::uint32_t vni, net::MacAddr container_mac,
   bridge(vni);  // ensure it exists
   bridges_.at(vni).routes[container_mac] =
       BridgeBundle::Vtep{host_ip, host_mac};
+  // A route change redirects where a container's traffic goes; cached
+  // transforms resolved under the old routing are no longer trustworthy.
+  flow_cache_->invalidate();
 }
 
 void Host::container_egress(std::uint32_t vni, net::PacketBuf frame) {
@@ -418,6 +446,11 @@ void Host::deliver_local(BridgeBundle& bundle, net::PacketBuf frame) {
 #endif
   skb->buf = std::move(frame);
   skb->stage = 2;
+  if (flow_cache_->enabled()) {
+    // Local frames enter at stage 2 and may fill the cache there; stamp
+    // the generation their classification (just above) observed.
+    skb->flowcache_gen = flow_cache_->generation();
+  }
   QueueNapi& cell = bundle.bridge->cell(cpu_idx);
   const bool high = skb->high_priority();
   const int level = skb->priority;

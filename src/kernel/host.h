@@ -31,6 +31,7 @@
 #include "net/mac.h"
 #include "nic/nic.h"
 #include "overlay/bridge.h"
+#include "overlay/flow_cache.h"
 #include "overlay/netns.h"
 #include "prism/priority_db.h"
 #include "prism/proc_interface.h"
@@ -70,6 +71,13 @@ struct HostConfig {
   /// Overload control: flow_limit admission, watermarks, watchdog,
   /// ksoftirqd deferral (kernel/overload.h).
   OverloadConfig overload;
+  /// Overlay flow cache (ONCache-style stage-1 fast path,
+  /// overlay/flow_cache.h): opt-in per host. Compile-out with
+  /// -DPRISM_FLOWCACHE=OFF.
+  bool flow_cache = false;
+  /// Flows the cache retains (LRU eviction beyond this); 0 selects
+  /// overlay::FlowCache::kDefaultCapacity.
+  std::size_t flow_cache_capacity = 0;
 };
 
 /// One simulated machine.
@@ -117,6 +125,15 @@ class Host {
     return *per_cpu_[static_cast<std::size_t>(i)]->admission;
   }
 
+  // ----------------------------------------------------------- flow cache
+  /// The per-host overlay flow cache. Always constructed (so counters and
+  /// tests have a stable surface); the datapath consults it only when
+  /// HostConfig::flow_cache enabled it.
+  overlay::FlowCache& flow_cache() noexcept { return *flow_cache_; }
+  const overlay::FlowCache& flow_cache() const noexcept {
+    return *flow_cache_;
+  }
+
   // --------------------------------------------------------------- PRISM
   prism::PriorityDb& priority_db() noexcept { return priority_db_; }
   prism::ProcInterface& proc() noexcept { return *proc_; }
@@ -129,6 +146,12 @@ class Host {
 
   /// Creates (or returns) the overlay bridge for `vni`.
   overlay::Bridge& bridge(std::uint32_t vni);
+
+  /// The `vni` bridge's forwarding database (creates the bridge on first
+  /// use). Mutations through it — add, remap, remove — bump the flow
+  /// cache's generation via the installed hook, so cached transforms
+  /// resolved under the old table are never replayed.
+  overlay::Fdb& fdb(std::uint32_t vni);
 
   /// Creates a container attached to the `vni` bridge. The container MAC
   /// is auto-assigned; the FDB entry is installed.
@@ -262,6 +285,9 @@ class Host {
   /// handlers and engines hold a pointer into it, so it must outlive them
   /// on teardown.
   std::unique_ptr<OverloadGovernor> governor_;
+  /// Declared before the NIC NAPIs and bridges, which hold a pointer into
+  /// it, so it outlives them on teardown.
+  std::unique_ptr<overlay::FlowCache> flow_cache_;
   telemetry::SpanTracer* tracer_ = nullptr;
   int track_base_ = 0;
   telemetry::SpanTracer::NameId irq_name_ = 0;

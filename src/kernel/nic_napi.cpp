@@ -5,6 +5,7 @@
 
 #include "kernel/net_rx_engine.h"
 #include "net/flow.h"
+#include "overlay/flow_cache.h"
 #include "overlay/netns.h"
 #include "telemetry/latency.h"
 
@@ -95,9 +96,20 @@ PollOutcome NicNapi::poll(int batch, sim::Time start) {
           // Decap-time corruption hits the inner frame only, after the
           // outer headers were validated — the ONCache-style failure
           // surface where encap/decap bugs bite.
-          ctx_.faults->plan.maybe_corrupt_decap(
+          const bool corrupted = ctx_.faults->plan.maybe_corrupt_decap(
               entry->frame.mutable_bytes().subspan(
                   parsed.l4_payload_offset + net::VxlanHeader::kSize));
+#if PRISM_FLOWCACHE_ENABLED
+          if (corrupted && ctx_.flow_cache != nullptr) {
+            // A corrupted decap means cached transforms may no longer
+            // match what the slow path would produce for these bytes:
+            // void them all, so this packet (and everything cached) walks
+            // the full pipeline and re-resolves.
+            ctx_.flow_cache->invalidate();
+          }
+#else
+          (void)corrupted;
+#endif
         }
 #endif
         inner.emplace();
@@ -109,8 +121,30 @@ PollOutcome NicNapi::poll(int batch, sim::Time start) {
       }
     }
 
-    // PRISM: classify once, at skb-allocation time.
+    // Overlay flow cache: probe for a cached transform. UDP inner flows
+    // only — TCP stays on the slow path so GRO keeps merging its trains
+    // (losing the merge would cost more than the stages save) and
+    // segment ordering through the stage queues is preserved.
+#if PRISM_FLOWCACHE_ENABLED
+    const overlay::FlowCacheEntry* cached = nullptr;
+    const bool fc_active = ctx_.flow_cache != nullptr &&
+                           ctx_.flow_cache->enabled() && vxlan && inner;
+    if (fc_active && inner->udp) {
+      out.cost += ctx_.cost->flowcache_lookup;
+      cached = ctx_.flow_cache->lookup(net::flow_of(*inner), vxlan->vni);
+    }
+#endif
+
+    // PRISM: classify once, at skb-allocation time. A flow-cache hit
+    // reuses the level classify() produced when the entry was filled —
+    // the generation check guarantees the database is unchanged since, so
+    // the cached level is exactly what classify() would return now.
     int level = 0;
+#if PRISM_FLOWCACHE_ENABLED
+    if (cached != nullptr) {
+      level = cached->priority;
+    } else
+#endif
     if (prism_mode && ctx_.priority_db != nullptr) {
       level =
           ctx_.priority_db->classify(parsed, inner ? &*inner : nullptr);
@@ -142,6 +176,14 @@ PollOutcome NicNapi::poll(int batch, sim::Time start) {
     skb->priority = level;
     skb->ts.nic_rx = entry->arrived;
     skb->ts.stage1_start = dequeued;
+#if PRISM_FLOWCACHE_ENABLED
+    if (fc_active) {
+      // Generation at classification time: a stage-2 cache fill records
+      // this value, so a mutation landing between now and the fill
+      // leaves the entry already stale (see skb.h).
+      skb->flowcache_gen = ctx_.flow_cache->generation();
+    }
+#endif
 
 #if PRISM_TELEMETRY_ENABLED
     net::FiveTuple traced_flow;
@@ -174,6 +216,35 @@ PollOutcome NicNapi::poll(int batch, sim::Time start) {
     bool gro_ok = false;
 
     if (parsed.is_vxlan()) {
+#if PRISM_FLOWCACHE_ENABLED
+      if (cached != nullptr) {
+        // Fast path (ONCache): the cached transform replaces the VNI
+        // lookup, the bridge FDB walk, the veth transition and the
+        // backlog queueing. Flush any pending GRO train first so
+        // cross-flow poll ordering matches the slow path, then decap in
+        // place and deliver straight into the cached namespace.
+        skb->buf = std::move(entry->frame);
+        skb->buf.pop_front(parsed.l4_payload_offset +
+                           net::VxlanHeader::kSize);
+        skb->parsed = std::move(inner);
+        skb->dst_netns = cached->dst;
+        skb->stage = 1;
+        out.cost += flush(slot, start + out.cost, mult);
+        out.cost += scaled(ctx_.cost->nic_stage_per_packet);
+        skb->ts.stage1_done = start + out.cost;
+        out.cost += scaled(ctx_.cost->flowcache_fast_path);
+        skb->ts.flowcache_done = start + out.cost;
+#if PRISM_TELEMETRY_ENABLED
+        if (skb->traced) {
+          ctx_.recorder->on_fast_path(traced_flow, skb->observed_class,
+                                      start + out.cost);
+        }
+#endif
+        out.cost += ctx_.deliverer->deliver(*skb, start + out.cost,
+                                            *cached->dst);
+        continue;
+      }
+#endif
       QueueNapi* bridge =
           (vxlan && ctx_.vxlan_lookup) ? ctx_.vxlan_lookup(vxlan->vni)
                                        : nullptr;

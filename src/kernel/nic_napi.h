@@ -34,6 +34,7 @@
 #include "prism/priority_db.h"
 
 namespace prism::overlay {
+class FlowCache;
 class Netns;
 }
 
@@ -62,6 +63,10 @@ struct NicNapiContext {
   /// Optional: the host's fault layer (drop attribution, decap
   /// corruption, skb alloc-failure injection).
   fault::FaultLayer* faults = nullptr;
+  /// Optional: per-host overlay flow cache (overlay/flow_cache.h). When
+  /// enabled, overlay UDP packets whose transform is cached skip straight
+  /// from this poll to socket delivery.
+  overlay::FlowCache* flow_cache = nullptr;
   /// Resolves a VNI to this CPU's bridge gro_cell, nullptr if unknown.
   std::function<QueueNapi*(std::uint32_t vni)> vxlan_lookup;
 };

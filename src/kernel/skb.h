@@ -38,6 +38,8 @@ struct SkbTimestamps {
   sim::Time stage2_done = -1;  ///< bridge processing finished
   sim::Time stage3_start = -1; ///< backlog/veth stage began serving
   sim::Time stage3_done = -1;  ///< backlog/veth processing finished
+  sim::Time flowcache_done = -1;  ///< flow-cache fast path applied the
+                                  ///< cached transform (stages 2-3 skipped)
   sim::Time socket_enqueue = -1;  ///< enqueued to the socket buffer
 };
 
@@ -91,6 +93,13 @@ struct Skb {
   /// enqueued (-1 = queue was empty). Replayed at dequeue so the
   /// inversion detector knows what the skb waited behind.
   std::int8_t head_class_at_enqueue = -1;
+
+  /// Overlay flow-cache generation observed when this packet was
+  /// classified at stage 1. A stage-2 cache fill records this value (not
+  /// the fill-time generation), so a mutation landing between
+  /// classification and fill leaves the entry already stale instead of
+  /// poisoning the cache. 0 when the cache is not in play.
+  std::uint64_t flowcache_gen = 0;
 
   SkbTimestamps ts;
 };

@@ -44,6 +44,7 @@ void SkbPool::release(Skb* skb) {
   skb->traced = false;
   skb->observed_class = 0;
   skb->head_class_at_enqueue = -1;
+  skb->flowcache_gen = 0;
   skb->ts = SkbTimestamps{};
   pool_.release(skb);
 }

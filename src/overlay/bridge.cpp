@@ -2,6 +2,7 @@
 
 #include "net/flow.h"
 #include "net/headers.h"
+#include "overlay/flow_cache.h"
 #include "overlay/netns.h"
 
 namespace prism::overlay {
@@ -36,6 +37,16 @@ sim::Duration BridgeStage::process_one(kernel::SkbPtr skb, sim::Time at,
   t_forwarded_->inc();
   skb->dst_netns = dst;
   skb->stage = 3;
+
+#if PRISM_FLOWCACHE_ENABLED
+  if (flow_cache_ != nullptr && skb->parsed && skb->parsed->udp) {
+    // Record the resolved transform for this flow's next packets. The
+    // generation stored is the one captured at this skb's stage-1
+    // classification, so any mutation since then leaves the entry stale.
+    flow_cache_->insert(net::flow_of(*skb->parsed), vni_, dst,
+                        skb->priority, skb->flowcache_gen);
+  }
+#endif
 
   // Receive Packet Steering: hash the inner flow across the configured
   // CPUs at the netif_rx boundary. PRISM-sync high-priority packets are

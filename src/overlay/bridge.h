@@ -19,6 +19,8 @@
 
 namespace prism::overlay {
 
+class FlowCache;
+
 /// One RPS steering destination: another CPU's stage-transition helper
 /// and backlog napi.
 struct RpsTarget {
@@ -69,10 +71,20 @@ class BridgeStage final : public kernel::PacketStage {
   /// the drop ledger. nullptr detaches.
   void set_faults(fault::FaultLayer* faults) noexcept { faults_ = faults; }
 
+  /// Attaches the host's overlay flow cache: every successful FDB
+  /// resolve of a UDP flow fills (or refreshes) the flow's cached
+  /// transform under `vni`. nullptr detaches.
+  void set_flow_cache(FlowCache* cache, std::uint32_t vni) noexcept {
+    flow_cache_ = cache;
+    vni_ = vni;
+  }
+
  private:
   std::string name_;
   const kernel::CostModel& cost_;
   fault::FaultLayer* faults_ = nullptr;
+  FlowCache* flow_cache_ = nullptr;
+  std::uint32_t vni_ = 0;
   Fdb& fdb_;
   kernel::StageTransition& transition_;
   kernel::QueueNapi& backlog_;

@@ -5,10 +5,20 @@
 // when containers attach; the simulator's overlay manager does the same.
 // Remote MACs are not stored here — they are resolved at encapsulation
 // time by the VXLAN tunnel endpoint table.
+//
+// Every mutation bumps a generation counter and fires an optional
+// mutation hook: consumers that cache FDB-derived state (the overlay
+// flow cache, overlay/flow_cache.h) key their entries to the generation
+// at fill time, so a remap is visible as staleness instead of a
+// mis-delivery. An `add` that replaces an existing MAC's port is counted
+// separately (`overwrites`) — silent overwrite is exactly the event a
+// cached transform must observe.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
+#include <utility>
 
 #include "net/mac.h"
 
@@ -19,11 +29,29 @@ class Netns;
 /// Static MAC -> local port (container) table with miss counting.
 class Fdb {
  public:
-  void add(net::MacAddr mac, Netns& container) {
-    entries_[mac] = &container;
+  /// Maps `mac` to `container`. Returns true when the table changed:
+  /// either a new entry, or an existing MAC remapped to a different port
+  /// (counted in overwrites()). Re-adding the identical mapping is a
+  /// no-op and returns false. Any change bumps generation().
+  bool add(net::MacAddr mac, Netns& container) {
+    auto [it, inserted] = entries_.try_emplace(mac, &container);
+    if (!inserted) {
+      if (it->second == &container) return false;
+      it->second = &container;
+      ++overwrites_;
+    }
+    bump();
+    return true;
   }
 
-  void remove(net::MacAddr mac) { entries_.erase(mac); }
+  /// Removes `mac`. Returns false when no such entry existed (so a typo'd
+  /// remove is distinguishable from success); a real removal bumps
+  /// generation().
+  bool remove(net::MacAddr mac) {
+    if (entries_.erase(mac) == 0) return false;
+    bump();
+    return true;
+  }
 
   /// Returns the container behind `mac`, or nullptr (counted as a miss).
   Netns* lookup(net::MacAddr mac) {
@@ -37,10 +65,28 @@ class Fdb {
 
   std::size_t size() const noexcept { return entries_.size(); }
   std::uint64_t misses() const noexcept { return misses_; }
+  /// `add` calls that replaced an existing MAC's port with a different one.
+  std::uint64_t overwrites() const noexcept { return overwrites_; }
+  /// Monotonic mutation counter: incremented by every table change.
+  std::uint64_t generation() const noexcept { return generation_; }
+
+  /// Called after every table change (add/remap/remove). One hook per
+  /// FDB; the host installs it to invalidate the overlay flow cache.
+  void set_mutation_hook(std::function<void()> hook) {
+    mutation_hook_ = std::move(hook);
+  }
 
  private:
+  void bump() {
+    ++generation_;
+    if (mutation_hook_) mutation_hook_();
+  }
+
   std::unordered_map<net::MacAddr, Netns*> entries_;
   std::uint64_t misses_ = 0;
+  std::uint64_t overwrites_ = 0;
+  std::uint64_t generation_ = 0;
+  std::function<void()> mutation_hook_;
 };
 
 }  // namespace prism::overlay

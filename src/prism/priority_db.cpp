@@ -8,11 +8,16 @@ namespace prism::prism {
 
 void PriorityDb::add(net::Ipv4Addr ip, std::uint16_t port, int level) {
   level = std::clamp(level, 1, kernel::kNumPriorityLevels - 1);
-  entries_[key(ip, port)] = level;
+  int& slot = entries_[key(ip, port)];
+  if (slot == level) return;  // no-op re-add: classification unchanged
+  slot = level;
+  bump();
 }
 
 bool PriorityDb::remove(net::Ipv4Addr ip, std::uint16_t port) {
-  return entries_.erase(key(ip, port)) > 0;
+  if (entries_.erase(key(ip, port)) == 0) return false;
+  bump();
+  return true;
 }
 
 bool PriorityDb::contains(net::Ipv4Addr ip, std::uint16_t port) const {

@@ -12,8 +12,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <unordered_map>
+#include <utility>
 
 #include "kernel/napi.h"
 #include "net/ip.h"
@@ -31,9 +33,24 @@ class PriorityDb {
   /// Removes one entry. Returns false if it was not present.
   bool remove(net::Ipv4Addr ip, std::uint16_t port);
 
-  void clear() noexcept { entries_.clear(); }
+  void clear() {
+    if (entries_.empty()) return;
+    entries_.clear();
+    bump();
+  }
   bool empty() const noexcept { return entries_.empty(); }
   std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Monotonic mutation counter, bumped by every add/remove/clear that
+  /// changes the table. Cached classifications (the overlay flow cache)
+  /// are only valid while this stands still.
+  std::uint64_t version() const noexcept { return version_; }
+
+  /// Called after every table change. One hook per database; the host
+  /// installs it to invalidate the overlay flow cache.
+  void set_mutation_hook(std::function<void()> hook) {
+    mutation_hook_ = std::move(hook);
+  }
 
   bool contains(net::Ipv4Addr ip, std::uint16_t port) const;
 
@@ -71,7 +88,14 @@ class PriorityDb {
     return Key{(std::uint64_t{ip.value} << 16) | port};
   }
 
+  void bump() {
+    ++version_;
+    if (mutation_hook_) mutation_hook_();
+  }
+
   std::unordered_map<Key, int, KeyHash> entries_;
+  std::uint64_t version_ = 0;
+  std::function<void()> mutation_hook_;
 };
 
 }  // namespace prism::prism

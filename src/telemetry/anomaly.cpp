@@ -367,7 +367,7 @@ bool export_anomaly_trace_file(const AnomalyBank& bank,
   for (std::size_t k = 0; k < kind_ids.size(); ++k) {
     kind_ids[k] = tracer.intern(anomaly_kind_name(static_cast<AnomalyKind>(k)));
   }
-  std::array<SpanTracer::NameId, 5> event_ids{};
+  std::array<SpanTracer::NameId, 6> event_ids{};
   for (std::uint8_t k = 0; k < event_ids.size(); ++k) {
     event_ids[k] =
         tracer.intern(flight_event_kind_name(static_cast<FlightEventKind>(k)));

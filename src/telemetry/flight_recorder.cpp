@@ -27,6 +27,8 @@ const char* flight_event_kind_name(FlightEventKind kind) noexcept {
       return "drop";
     case FlightEventKind::kDeliver:
       return "deliver";
+    case FlightEventKind::kFastPath:
+      return "fast_path";
   }
   return "?";
 }
@@ -166,6 +168,23 @@ void FlightRecorder::on_drop(const net::FiveTuple& flow, int stage, int level,
   (void)stage;
   (void)level;
   (void)drop_reason;
+  (void)at;
+#endif
+}
+
+void FlightRecorder::on_fast_path(const net::FiveTuple& flow, int level,
+                                  sim::Time at) {
+#if PRISM_TELEMETRY_ENABLED
+  FlightEvent e;
+  e.at = at;
+  e.flow = flow;
+  e.kind = FlightEventKind::kFastPath;
+  e.stage = 1;
+  e.level = static_cast<std::int8_t>(level);
+  push(e);
+#else
+  (void)flow;
+  (void)level;
   (void)at;
 #endif
 }

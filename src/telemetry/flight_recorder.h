@@ -40,6 +40,7 @@ enum class FlightEventKind : std::uint8_t {
   kDequeue,      ///< popped off a stage queue (wait = queue residency)
   kDrop,         ///< dropped (drop_reason = fault::DropReason code)
   kDeliver,      ///< handed to the socket (wait = end-to-end latency)
+  kFastPath,     ///< overlay flow-cache hit: stages 2-3 skipped
 };
 
 const char* flight_event_kind_name(FlightEventKind kind) noexcept;
@@ -124,6 +125,9 @@ class FlightRecorder {
                int drop_reason, sim::Time at);
   void on_deliver(const net::FiveTuple& flow, int level,
                   sim::Duration e2e_ns, sim::Time at);
+  /// Overlay flow-cache hit: the packet left stage 1 straight for socket
+  /// delivery via the cached transform (no stage-2/3 events will follow).
+  void on_fast_path(const net::FiveTuple& flow, int level, sim::Time at);
 
   // ------------------------------------------------------------- inspection
   std::size_t size() const noexcept { return ring_.size(); }

@@ -17,6 +17,7 @@ const char* latency_stage_name(LatencyStage stage) {
     case LatencyStage::kStage2Service: return "stage2_service";
     case LatencyStage::kStage3Wait: return "stage3_wait";
     case LatencyStage::kStage3Service: return "stage3_service";
+    case LatencyStage::kFlowCache: return "flow_cache";
     case LatencyStage::kEndToEnd: return "end_to_end";
     case LatencyStage::kIrqToPoll: return "irq_to_poll";
     case LatencyStage::kSocketWait: return "socket_wait";
@@ -85,6 +86,7 @@ void LatencyLedger::record_delivery(const kernel::SkbTimestamps& ts,
   segment(LatencyStage::kStage2Service, ts.stage2_done);
   segment(LatencyStage::kStage3Wait, ts.stage3_start);
   segment(LatencyStage::kStage3Service, ts.stage3_done);
+  segment(LatencyStage::kFlowCache, ts.flowcache_done);
   const sim::Duration e2e = ts.socket_enqueue - ts.nic_rx;
   cell(LatencyStage::kEndToEnd, c).record(e2e);
   window_record(ts.socket_enqueue, c, e2e);

@@ -33,12 +33,13 @@ namespace prism::telemetry {
 
 class JsonWriter;
 
-/// Pipeline segments the ledger attributes time to. The first six are the
-/// consecutive segments of [nic_rx, socket_enqueue] — they telescope, so
-/// their per-packet durations sum exactly to kEndToEnd. kIrqToPoll (per
-/// poll, not per packet) and kSocketWait (socket buffer -> recv syscall,
-/// after socket_enqueue) are recorded separately and excluded from the
-/// sum.
+/// Pipeline segments the ledger attributes time to. The stages before
+/// kEndToEnd are the consecutive segments of [nic_rx, socket_enqueue] —
+/// they telescope, so their per-packet durations sum exactly to kEndToEnd
+/// (a packet traverses either stages 2-3 or the flow-cache fast path,
+/// never both). kIrqToPoll (per poll, not per packet) and kSocketWait
+/// (socket buffer -> recv syscall, after socket_enqueue) are recorded
+/// separately and excluded from the sum.
 enum class LatencyStage : int {
   kRingWait = 0,    ///< DMA arrival -> driver poll picks the frame up
   kStage1Service,   ///< NIC driver processing (alloc, classify, GRO)
@@ -46,6 +47,7 @@ enum class LatencyStage : int {
   kStage2Service,   ///< bridge processing (FDB lookup, forward)
   kStage3Wait,      ///< stage-2 done -> backlog poll starts (incl. RPS IPI)
   kStage3Service,   ///< backlog/veth processing + protocol delivery
+  kFlowCache,       ///< flow-cache fast path: cached transform + delivery
   kEndToEnd,        ///< nic_rx -> socket_enqueue
   kIrqToPoll,       ///< IRQ fire -> first driver poll (per poll)
   kSocketWait,      ///< socket_enqueue -> application recv

@@ -15,6 +15,7 @@
 #include "apps/sockperf.h"
 #include "harness/cluster.h"
 #include "harness/testbed.h"
+#include "overlay/flow_cache.h"
 #include "sim/time.h"
 #include "telemetry/anomaly.h"
 
@@ -26,6 +27,7 @@ struct ClusterRun {
   std::vector<std::string> host_snapshots;
   std::vector<std::uint64_t> received;
   std::vector<std::uint64_t> replies;
+  std::vector<std::uint64_t> fc_hits;  ///< per server host
   std::uint64_t events = 0;
   std::uint64_t messages = 0;
   std::uint64_t fault_injections = 0;
@@ -36,10 +38,11 @@ struct ClusterRun {
 /// `arm_detectors` additionally arms the SLO and drop-burst detectors on
 /// every server, so the "prism/anomalies" documents carry findings.
 ClusterRun run_cluster(int threads, std::uint64_t seed,
-                       bool arm_detectors = false) {
+                       bool arm_detectors = false, bool flow_cache = false) {
   harness::ClusterConfig cc;
   cc.pairs = 2;
   cc.mode = kernel::NapiMode::kPrismBatch;
+  cc.flow_cache = flow_cache;
   cc.server_faults.seed = seed;
   cc.server_faults.wire_drop_rate = 0.01;
   cc.server_faults.wire_corrupt_rate = 0.005;
@@ -101,6 +104,7 @@ ClusterRun run_cluster(int threads, std::uint64_t seed,
     r.host_snapshots.push_back(snap(cluster.server(p)));
     r.received.push_back(servers[static_cast<std::size_t>(p)]->received());
     r.replies.push_back(clients[static_cast<std::size_t>(p)]->replies());
+    r.fc_hits.push_back(cluster.server(p).flow_cache().hits());
     const auto& sc = cluster.server(p).faults().plan.counters();
     r.fault_injections +=
         sc.wire_drops + sc.wire_corrupts + sc.wire_duplicates;
@@ -119,6 +123,7 @@ void expect_same(const ClusterRun& a, const ClusterRun& b) {
   EXPECT_EQ(a.messages, b.messages);
   EXPECT_EQ(a.received, b.received);
   EXPECT_EQ(a.replies, b.replies);
+  EXPECT_EQ(a.fc_hits, b.fc_hits);
   EXPECT_EQ(a.fault_injections, b.fault_injections);
   ASSERT_EQ(a.host_snapshots.size(), b.host_snapshots.size());
   for (std::size_t i = 0; i < a.host_snapshots.size(); ++i) {
@@ -157,6 +162,22 @@ TEST(ParallelDeterminismTest, AnomalySurfaceIndexedAndDeterministicArmed) {
   for (const std::string& snap : serial.host_snapshots) {
     EXPECT_NE(snap.find("prism/anomalies"), std::string::npos);
   }
+  expect_same(serial, parallel);
+}
+
+// The overlay flow cache fills on one stage and hits on another; if lane
+// scheduling could reorder the fill relative to a neighbouring flow's
+// probe, hit counts — and through the fast path, the whole telemetry
+// surface — would diverge across thread counts. They must not.
+TEST(ParallelDeterminismTest, FlowCacheOnOneVsFourByteIdentical) {
+  const ClusterRun serial =
+      run_cluster(1, 7, /*arm_detectors=*/false, /*flow_cache=*/true);
+  const ClusterRun parallel =
+      run_cluster(4, 7, /*arm_detectors=*/false, /*flow_cache=*/true);
+  ASSERT_GT(serial.events, 0u);
+#if PRISM_FLOWCACHE_ENABLED
+  for (std::uint64_t hits : serial.fc_hits) EXPECT_GT(hits, 0u);
+#endif
   expect_same(serial, parallel);
 }
 

@@ -62,6 +62,13 @@ def gated_metrics(doc):
         for p in doc.get("sweep", []):
             key = "sweep.bg%g.events_per_sec" % p.get("bg_kpps", -1)
             out[key] = p.get("events_per_sec", 0)
+        # The flow-cache A/B point: cached flows skip stages 2-3, so the
+        # honest throughput metric is packets/s (the fast path removes
+        # simulated events per packet, which distorts events/s).
+        fc = doc.get("flow_cache", {})
+        if fc.get("compiled_in") and "cache_packets_per_sec" in fc:
+            out["flow_cache.cache_packets_per_sec"] = fc[
+                "cache_packets_per_sec"]
     elif bench == "perf_parallel":
         sl = doc.get("single_lane", {})
         if "lane_events_per_sec" in sl:
@@ -83,6 +90,13 @@ def advisory_metrics(doc):
         b = doc.get(block, {})
         if "overhead_fraction" in b:
             out[block + ".overhead_fraction"] = b["overhead_fraction"]
+    fc = doc.get("flow_cache", {})
+    if "hit_rate" in fc:
+        out["flow_cache.hit_rate"] = fc["hit_rate"]
+    if "events_speedup" in fc:
+        out["flow_cache.events_speedup"] = fc["events_speedup"]
+    if "packets_speedup" in fc:
+        out["flow_cache.packets_speedup"] = fc["packets_speedup"]
     det = doc.get("determinism", {})
     if "events_match_across_threads" in det:
         out["determinism.events_match_across_threads"] = det[
