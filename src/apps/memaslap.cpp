@@ -7,6 +7,7 @@ namespace prism::apps {
 MemaslapClient::MemaslapClient(sim::Simulator& sim, Config config)
     : sim_(sim), cfg_(config), rng_(config.seed) {
   assert(cfg_.host && cfg_.ns && cfg_.cpu && "MemaslapClient: bad config");
+  slots_.resize(static_cast<std::size_t>(cfg_.concurrency));
   sock_ = &cfg_.host->udp_bind(*cfg_.ns, cfg_.src_port);
   sock_->set_on_readable([this] {
     if (!rx_busy_) {
@@ -39,11 +40,18 @@ void MemaslapClient::issue(int slot) {
     req.value = std::vector<std::uint8_t>(cfg_.value_size, 0x42);
     ++sets_;
   }
-  in_flight_[req.probe.seq] = slot;
+  auto& s = slots_.at(static_cast<std::size_t>(slot));
+  s.req = std::move(req);
+  s.attempts = 0;
+  send_current(slot);
+}
 
+void MemaslapClient::send_current(int slot) {
+  const auto& s = slots_.at(static_cast<std::size_t>(slot));
+  const std::uint64_t seq = s.req.probe.seq;
+  in_flight_[seq] = slot;
   cfg_.host->udp_send(*cfg_.ns, *cfg_.cpu, cfg_.src_port, cfg_.server_ip,
-                      cfg_.server_port, encode_kv_request(req));
-  const std::uint64_t seq = req.probe.seq;
+                      cfg_.server_port, encode_kv_request(s.req));
   sim_.schedule(cfg_.request_timeout,
                 [this, slot, seq] { on_timeout(slot, seq); });
 }
@@ -52,8 +60,20 @@ void MemaslapClient::on_timeout(int slot, std::uint64_t seq) {
   const auto it = in_flight_.find(seq);
   if (it == in_flight_.end()) return;  // already answered
   in_flight_.erase(it);
+  auto& s = slots_.at(static_cast<std::size_t>(slot));
+  if (s.attempts < cfg_.max_retries && sim_.now() < cfg_.stop_at) {
+    // Same request, same seq: a late response to any attempt completes
+    // the slot. Backoff doubles per attempt, capped.
+    ++s.attempts;
+    ++retries_;
+    sim::Duration wait = cfg_.retry_backoff << (s.attempts - 1);
+    if (wait > cfg_.max_backoff) wait = cfg_.max_backoff;
+    if (wait < 1) wait = 1;
+    sim_.schedule(wait, [this, slot] { send_current(slot); });
+    return;
+  }
   ++timeouts_;
-  issue(slot);  // keep the slot busy
+  issue(slot);  // keep the slot busy with a fresh request
 }
 
 void MemaslapClient::begin_rx(bool wakeup) {

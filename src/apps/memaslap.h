@@ -33,6 +33,14 @@ class MemaslapClient {
     sim::Time start_at = 0;
     sim::Time stop_at = sim::seconds(1);
     sim::Duration request_timeout = sim::milliseconds(50);
+    /// Same-request retries after a timeout (container churn
+    /// resilience): the request resends with its original seq after a
+    /// backoff that doubles per attempt up to max_backoff. 0 = abandon
+    /// on first timeout and issue a fresh request (the pre-churn
+    /// behavior).
+    int max_retries = 0;
+    sim::Duration retry_backoff = sim::milliseconds(1);
+    sim::Duration max_backoff = sim::milliseconds(8);
     std::uint64_t seed = 1;
   };
 
@@ -45,6 +53,9 @@ class MemaslapClient {
   std::uint64_t gets() const noexcept { return gets_; }
   std::uint64_t sets() const noexcept { return sets_; }
   std::uint64_t timeouts() const noexcept { return timeouts_; }
+  /// Timeout-driven same-request resends (each is one extra udp_send, so
+  /// total request sends = gets() + sets() + retries()).
+  std::uint64_t retries() const noexcept { return retries_; }
 
   /// Request-response latency (full RTT, as memaslap reports).
   const stats::Histogram& latency() const noexcept { return latency_; }
@@ -54,6 +65,7 @@ class MemaslapClient {
 
  private:
   void issue(int slot);
+  void send_current(int slot);
   void on_timeout(int slot, std::uint64_t seq);
   void begin_rx(bool wakeup);
   void finish_rx();
@@ -65,11 +77,18 @@ class MemaslapClient {
   std::uint64_t next_seq_ = 0;
   /// seq -> slot for requests in flight.
   std::unordered_map<std::uint64_t, int> in_flight_;
+  /// Per-slot current request, kept for same-seq retries.
+  struct Slot {
+    KvRequest req;
+    int attempts = 0;  ///< retries performed for the current request
+  };
+  std::vector<Slot> slots_;
   bool rx_busy_ = false;
   std::uint64_t completed_ = 0;
   std::uint64_t gets_ = 0;
   std::uint64_t sets_ = 0;
   std::uint64_t timeouts_ = 0;
+  std::uint64_t retries_ = 0;
   stats::Histogram latency_;
 };
 

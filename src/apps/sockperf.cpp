@@ -129,21 +129,59 @@ void SockperfClient::tick(std::size_t thread_index, std::uint64_t n) {
     return;
   }
   for (int b = 0; b < cfg_.burst; ++b) {
-    Probe probe;
-    probe.seq = t.next_seq++;
-    probe.sent_at = sim_.now();
-    probe.reply = cfg_.reply_every > 0 &&
-                  (probe.seq % static_cast<std::uint64_t>(
-                                   cfg_.reply_every)) == 0;
-    ++t.outstanding;
+    const std::uint64_t seq = t.next_seq++;
+    const bool reply =
+        cfg_.reply_every > 0 &&
+        (seq % static_cast<std::uint64_t>(cfg_.reply_every)) == 0;
     ++sent_;
-    // udp_send copies the payload into the frame before returning, so the
-    // scratch buffer is reusable immediately.
-    encode_probe_into(probe, cfg_.payload_size, probe_scratch_);
-    cfg_.host->udp_send(*cfg_.ns, *t.cpu, t.src_port, cfg_.dst_ip,
-                        cfg_.dst_port, probe_scratch_,
-                        [&t] { --t.outstanding; });
+    send_probe(t, seq, reply);
+    if (reply && cfg_.reply_timeout > 0) {
+      t.pending.emplace(seq, PendingProbe{});
+      arm_retry(thread_index, seq, /*attempt=*/0, cfg_.reply_timeout);
+    }
   }
+}
+
+void SockperfClient::send_probe(Thread& t, std::uint64_t seq, bool reply) {
+  Probe probe;
+  probe.seq = seq;
+  probe.sent_at = sim_.now();
+  probe.reply = reply;
+  ++t.outstanding;
+  // udp_send copies the payload into the frame before returning, so the
+  // scratch buffer is reusable immediately.
+  encode_probe_into(probe, cfg_.payload_size, probe_scratch_);
+  cfg_.host->udp_send(*cfg_.ns, *t.cpu, t.src_port, cfg_.dst_ip,
+                      cfg_.dst_port, probe_scratch_,
+                      [&t] { --t.outstanding; });
+}
+
+void SockperfClient::arm_retry(std::size_t thread_index, std::uint64_t seq,
+                               int attempt, sim::Duration wait) {
+  sim_.schedule(wait, [this, thread_index, seq, attempt] {
+    on_reply_timeout(thread_index, seq, attempt);
+  });
+}
+
+void SockperfClient::on_reply_timeout(std::size_t thread_index,
+                                      std::uint64_t seq, int attempt) {
+  Thread& t = threads_[thread_index];
+  const auto it = t.pending.find(seq);
+  if (it == t.pending.end()) return;           // echo arrived in time
+  if (it->second.attempts != attempt) return;  // stale timer
+  if (it->second.attempts >= cfg_.max_retries) {
+    t.pending.erase(it);
+    ++probe_timeouts_;
+    return;
+  }
+  ++it->second.attempts;
+  ++retransmits_;
+  send_probe(t, seq, /*reply=*/true);
+  // Exponential backoff: the wait doubles per attempt, capped.
+  sim::Duration wait = cfg_.reply_timeout << it->second.attempts;
+  if (wait > cfg_.max_backoff) wait = cfg_.max_backoff;
+  if (wait < cfg_.reply_timeout) wait = cfg_.reply_timeout;  // overflow cap
+  arm_retry(thread_index, seq, it->second.attempts, wait);
 }
 
 void SockperfClient::begin_rx(Thread& t, bool wakeup) {
@@ -160,9 +198,22 @@ void SockperfClient::finish_rx(Thread& t) {
     return;
   }
   if (const auto probe = decode_probe(d->payload)) {
-    ++replies_;
-    // sockperf reports one-way latency as RTT/2.
-    latency_.record((sim_.now() - probe->sent_at) / 2);
+    if (cfg_.reply_timeout > 0) {
+      // With retransmission a seq can be echoed more than once; only the
+      // first echo closes the probe and counts toward the measurement.
+      const auto it = t.pending.find(probe->seq);
+      if (it == t.pending.end()) {
+        ++late_replies_;
+      } else {
+        t.pending.erase(it);
+        ++replies_;
+        latency_.record((sim_.now() - probe->sent_at) / 2);
+      }
+    } else {
+      ++replies_;
+      // sockperf reports one-way latency as RTT/2.
+      latency_.record((sim_.now() - probe->sent_at) / 2);
+    }
   }
   if (t.sock->has_data()) {
     begin_rx(t, /*wakeup=*/false);

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "apps/payload.h"
@@ -85,6 +86,14 @@ class SockperfClient {
     /// Ticks finding this many sends still queued on the CPU are skipped
     /// (a real sender blocks; an unbounded queue would distort timing).
     int max_outstanding = 256;
+    /// Reply-probe resilience (container churn): when > 0, a probe whose
+    /// requested echo has not arrived within this long retransmits with
+    /// the same seq, doubling the wait each attempt up to max_backoff,
+    /// at most max_retries times before the probe is abandoned.
+    /// 0 = fire-and-forget (the pre-churn behavior).
+    sim::Duration reply_timeout = 0;
+    int max_retries = 3;
+    sim::Duration max_backoff = sim::milliseconds(10);
   };
 
   SockperfClient(sim::Simulator& sim, Config config);
@@ -95,11 +104,24 @@ class SockperfClient {
   std::uint64_t sent() const noexcept { return sent_; }
   std::uint64_t skipped() const noexcept { return skipped_; }
   std::uint64_t replies() const noexcept { return replies_; }
+  /// Timeout-driven resends (each is one extra udp_send syscall, so
+  /// total sends on the wire side = sent() + retransmits()).
+  std::uint64_t retransmits() const noexcept { return retransmits_; }
+  /// Probes abandoned after max_retries unanswered retransmits.
+  std::uint64_t probe_timeouts() const noexcept { return probe_timeouts_; }
+  /// Echoes that arrived after their probe was abandoned (or for a seq
+  /// answered once already) — counted, never measured.
+  std::uint64_t late_replies() const noexcept { return late_replies_; }
 
   /// One-way latency (RTT/2) of replied probes, in nanoseconds.
   const stats::Histogram& latency() const noexcept { return latency_; }
 
  private:
+  /// Retry state for one awaiting-echo probe (reply_timeout > 0 only).
+  struct PendingProbe {
+    int attempts = 0;  ///< retransmits performed so far
+  };
+
   struct Thread {
     kernel::Cpu* cpu = nullptr;
     std::uint16_t src_port = 0;
@@ -107,9 +129,15 @@ class SockperfClient {
     std::uint64_t next_seq = 0;
     int outstanding = 0;
     bool rx_busy = false;
+    std::unordered_map<std::uint64_t, PendingProbe> pending;
   };
 
   void tick(std::size_t thread_index, std::uint64_t n);
+  void send_probe(Thread& t, std::uint64_t seq, bool reply);
+  void arm_retry(std::size_t thread_index, std::uint64_t seq, int attempt,
+                 sim::Duration wait);
+  void on_reply_timeout(std::size_t thread_index, std::uint64_t seq,
+                        int attempt);
   void begin_rx(Thread& t, bool wakeup);
   void finish_rx(Thread& t);
 
@@ -123,6 +151,9 @@ class SockperfClient {
   std::uint64_t sent_ = 0;
   std::uint64_t skipped_ = 0;
   std::uint64_t replies_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t probe_timeouts_ = 0;
+  std::uint64_t late_replies_ = 0;
   stats::Histogram latency_;
 };
 

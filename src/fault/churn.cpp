@@ -1,0 +1,78 @@
+#include "fault/churn.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace prism::fault {
+
+const char* churn_kind_name(ChurnKind k) noexcept {
+  switch (k) {
+    case ChurnKind::kStop:
+      return "stop";
+    case ChurnKind::kRestart:
+      return "restart";
+    case ChurnKind::kMigrate:
+      return "migrate";
+  }
+  return "unknown";
+}
+
+void ChurnPlan::configure(const ChurnConfig& cfg) {
+  cfg_ = cfg;
+  events_.clear();
+  if (cfg.horizon <= cfg.start || cfg.disruptions_per_container <= 0) {
+    return;
+  }
+  // A full cycle must fit in a slot: the disruption fires at the slot's
+  // jittered offset, its teardown+restart completes within
+  // drain + restart_delay, and min_gap separates it from the next slot.
+  const sim::Duration cycle = cfg.drain + cfg.restart_delay + cfg.min_gap;
+  const sim::Duration window = cfg.horizon - cfg.start;
+  const auto slots = static_cast<sim::Duration>(
+      cfg.disruptions_per_container);
+  const sim::Duration slot = window / slots;
+  if (slot <= cycle) return;  // window too tight: plan stays empty
+
+  // One child RNG per container, split in a fixed order, so adding a
+  // container (or changing another's draw count) never perturbs the
+  // schedule of its neighbours.
+  sim::Rng root(cfg.seed);
+  for (int p = 0; p < cfg.pairs; ++p) {
+    for (int c = 0; c < cfg.containers_per_pair; ++c) {
+      sim::Rng rng = root.split();
+      for (int d = 0; d < cfg.disruptions_per_container; ++d) {
+        const sim::Time slot_base =
+            cfg.start + static_cast<sim::Duration>(d) * slot;
+        const sim::Duration jitter_range = slot - cycle;
+        const auto jitter = static_cast<sim::Duration>(
+            rng.uniform_int(0, jitter_range - 1));
+        const sim::Time at = slot_base + jitter;
+        if (rng.chance(cfg.migrate_fraction)) {
+          events_.push_back(ChurnEvent{at, ChurnKind::kMigrate, p, c});
+        } else {
+          events_.push_back(ChurnEvent{at, ChurnKind::kStop, p, c});
+          events_.push_back(ChurnEvent{
+              at + cfg.drain + cfg.restart_delay, ChurnKind::kRestart, p,
+              c});
+        }
+      }
+    }
+  }
+  // Total order: time first, ties broken by (pair, container, kind) so
+  // the application sequence is identical run to run.
+  std::sort(events_.begin(), events_.end(),
+            [](const ChurnEvent& a, const ChurnEvent& b) {
+              return std::tie(a.at, a.pair, a.container, a.kind) <
+                     std::tie(b.at, b.pair, b.container, b.kind);
+            });
+}
+
+std::size_t ChurnPlan::count(ChurnKind k) const noexcept {
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.kind == k) ++n;
+  }
+  return n;
+}
+
+}  // namespace prism::fault

@@ -33,6 +33,8 @@ const char* drop_reason_name(DropReason r) noexcept {
       return "flow_limit";
     case DropReason::kOverloadShed:
       return "overload_shed";
+    case DropReason::kDeadNetns:
+      return "dead_netns";
     case DropReason::kCount:
       break;
   }

@@ -62,6 +62,7 @@ enum class DropReason : int {
   kRcvbufFull,   // socket receive queue at capacity
   kFlowLimit,    // backlog admission: dominant flow on a congested queue
   kOverloadShed, // backlog admission: low-priority shed inside headroom
+  kDeadNetns,    // destination namespace was draining or torn down
   kCount
 };
 

@@ -72,6 +72,9 @@ class Cluster {
   kernel::Host& client(int pair) { return *pairs_.at(pair).client; }
   kernel::Host& server(int pair) { return *pairs_.at(pair).server; }
   nic::Wire& wire(int pair) { return *pairs_.at(pair).wire; }
+  overlay::OverlayNetwork& overlay(int pair) {
+    return *pairs_.at(pair).overlay;
+  }
 
   /// Lane indices: client of pair i is lane 2i, server is lane 2i+1.
   int client_lane(int pair) const noexcept { return 2 * pair; }

@@ -301,6 +301,7 @@ overlay::Bridge& Host::bridge(std::uint32_t vni) {
     // All of a bridge's per-CPU stages/cells share one prefix so the
     // counters aggregate across CPUs, like a real bridge's device stats.
     const std::string prefix = "overlay.br" + std::to_string(vni) + ".";
+    bundle.fdb->bind_telemetry(telemetry_.registry, prefix);
     for (int c = 0; c < cfg_.num_cpus; ++c) {
       bundle.bridge->stage(c).bind_telemetry(telemetry_.registry, prefix);
       bundle.bridge->cell(c).bind_telemetry(telemetry_.registry,
@@ -342,10 +343,77 @@ overlay::Netns& Host::add_container(const std::string& name,
       net::MacAddr::make(((cfg_.ip.value & 0xffffu) << 16) | ++mac_counter_);
   auto ns = std::make_unique<overlay::Netns>(name, ip, mac,
                                              /*is_container=*/true);
+  ns->set_vni(vni);
   ns->egress = [this, vni](net::PacketBuf frame) {
     container_egress(vni, std::move(frame));
   };
   bridges_.at(vni).fdb->add(mac, *ns);
+  containers_.push_back(std::move(ns));
+  return *containers_.back();
+}
+
+void Host::stop_container(overlay::Netns& ns, sim::Duration drain) {
+  if (!ns.is_container() || ns.state() != overlay::NetnsState::kRunning) {
+    return;
+  }
+  // Ordering matters: the namespace stops accepting *before* the FDB
+  // unlearns, so no window exists where a fresh lookup can route to a
+  // namespace that will refuse the packet without counting it.
+  ns.begin_draining();
+  // FDB unlearn bumps the generation, which invalidates the flow cache
+  // through the mutation hook — stale cached transforms can't deliver.
+  fdb(ns.vni()).remove(ns.mac());
+  if (drain <= 0) {
+    finish_teardown(ns);
+    return;
+  }
+  // The drain deadline is host-local (this host's own lane), so it is
+  // safe under the parallel lane engine.
+  sim_.schedule(drain, [this, &ns] { finish_teardown(ns); });
+}
+
+void Host::finish_teardown(overlay::Netns& ns) {
+  if (ns.dead()) return;
+  ns.mark_dead();
+  // Close the bound sockets: queued datagram storage recycles and any
+  // still-in-flight enqueue lands as a counted kDeadNetns drop instead of
+  // a delivery. The Netns object itself persists as a tombstone, so every
+  // stale Netns* (skbs, flow-cache entries, VTEP tables) stays a valid
+  // pointer that observes the dead state.
+  ns.sockets().close_all_udp();
+}
+
+overlay::Netns& Host::restart_container(overlay::Netns& old_ns) {
+  if (!old_ns.is_container()) {
+    throw std::invalid_argument("Host::restart_container: not a container");
+  }
+  if (!old_ns.dead()) {
+    // A restart races the drain deadline only through a bug in the churn
+    // plan; finish the teardown now rather than running two incarnations.
+    old_ns.begin_draining();
+    finish_teardown(old_ns);
+  }
+  // The new incarnation reuses the old identity (name, IP, MAC): peers'
+  // static ARP entries and remote VTEP routes stay valid, mirroring a
+  // container restart that keeps its network attachment.
+  return adopt_container(old_ns.name(), old_ns.ip(), old_ns.mac(),
+                         old_ns.vni());
+}
+
+overlay::Netns& Host::adopt_container(const std::string& name,
+                                      net::Ipv4Addr ip, net::MacAddr mac,
+                                      std::uint32_t vni) {
+  bridge(vni);  // ensure it exists
+  auto ns = std::make_unique<overlay::Netns>(name, ip, mac,
+                                             /*is_container=*/true);
+  ns->set_vni(vni);
+  ns->egress = [this, vni](net::PacketBuf frame) {
+    container_egress(vni, std::move(frame));
+  };
+  // Learn (or relearn): the FDB maps the MAC to the new incarnation and
+  // the generation bump invalidates any transform cached against an old
+  // one.
+  bridges_.at(vni).fdb->add(ns->mac(), *ns);
   containers_.push_back(std::move(ns));
   return *containers_.back();
 }
@@ -359,6 +427,17 @@ void Host::add_overlay_route(std::uint32_t vni, net::MacAddr container_mac,
   // A route change redirects where a container's traffic goes; cached
   // transforms resolved under the old routing are no longer trustworthy.
   flow_cache_->invalidate();
+}
+
+bool Host::remove_overlay_route(std::uint32_t vni,
+                                net::MacAddr container_mac) {
+  const auto it = bridges_.find(vni);
+  if (it == bridges_.end()) return false;
+  if (it->second.routes.erase(container_mac) == 0) return false;
+  // Route-absent means local bridge delivery in container_egress, so a
+  // removal redirects traffic just as an add does.
+  flow_cache_->invalidate();
+  return true;
 }
 
 void Host::container_egress(std::uint32_t vni, net::PacketBuf frame) {
@@ -493,14 +572,30 @@ void Host::udp_send(overlay::Netns& ns, Cpu& cpu, std::uint16_t src_port,
   // Build the frame up front (the bytes don't depend on the send instant)
   // so the queued work captures one pooled PacketBuf instead of a payload
   // copy, and egress at the completion instant is a pure hand-off.
+  const std::optional<net::MacAddr> dst_mac = ns.neighbor(dst_ip);
   net::FrameSpec spec;
   spec.src_mac = ns.mac();
-  spec.dst_mac = ns.neighbor(dst_ip);
+  spec.dst_mac = dst_mac.value_or(net::MacAddr{});
   spec.src_ip = ns.ip();
   spec.dst_ip = dst_ip;
   spec.src_port = src_port;
   spec.dst_port = dst_port;
   net::PacketBuf frame = net::build_udp_frame(spec, payload);
+
+  if (!ns.accepting() || !dst_mac) {
+    // The send fails at the source: either the namespace is draining or
+    // torn down (kDeadNetns), or there is no neighbour entry for the
+    // destination (kUnroutable). Both are counted, per-class, against the
+    // built frame's classification, so conservation still closes; the
+    // frame's storage recycles through ~PacketBuf. `on_sent` still fires —
+    // the syscall completed, the packet just never reached the wire.
+    faults_.drops.record_frame(ns.accepting()
+                                   ? fault::DropReason::kUnroutable
+                                   : fault::DropReason::kDeadNetns,
+                               frame.bytes());
+    if (on_sent) on_sent();
+    return;
+  }
 
   cpu.run_task_fn([this, &ns, cost, frame = std::move(frame),
                    on_sent = std::move(on_sent)]() mutable {

@@ -158,11 +158,40 @@ class Host {
   overlay::Netns& add_container(const std::string& name, net::Ipv4Addr ip,
                                 std::uint32_t vni);
 
+  /// Begins container teardown: the namespace enters Draining (new
+  /// deliveries drop as counted kDeadNetns, sends are refused), the FDB
+  /// unlearns its MAC (bumping the flow-cache generation), and after
+  /// `drain` the namespace goes Dead — bound sockets close, queued
+  /// datagram storage recycles. The Netns object is retained as a
+  /// tombstone so stale pointers observe the state instead of dangling.
+  /// No-op for the root namespace or an already-stopped container.
+  void stop_container(overlay::Netns& ns, sim::Duration drain = 0);
+
+  /// Creates a fresh incarnation of a torn-down container, reusing its
+  /// name/IP/MAC (peers' ARP entries and remote VTEP routes stay valid)
+  /// and relearning the FDB entry. `old_ns` must be a container; if its
+  /// drain hasn't finished the teardown is completed first. Prefer
+  /// OverlayNetwork::restart_container, which also re-wires neighbours.
+  overlay::Netns& restart_container(overlay::Netns& old_ns);
+
+  /// Creates a container with an explicit identity (used by container
+  /// migration, where the incarnation on the destination host must keep
+  /// the source's IP and MAC). The FDB entry is installed; neighbour
+  /// wiring is the caller's job.
+  overlay::Netns& adopt_container(const std::string& name,
+                                  net::Ipv4Addr ip, net::MacAddr mac,
+                                  std::uint32_t vni);
+
   /// Declares that container `mac` of overlay `vni` lives behind the
   /// remote VTEP (`host_ip`, `host_mac`): the container egress
   /// encapsulates frames for it accordingly.
   void add_overlay_route(std::uint32_t vni, net::MacAddr container_mac,
                          net::Ipv4Addr host_ip, net::MacAddr host_mac);
+
+  /// Withdraws a VTEP route (e.g. the container migrated onto this host):
+  /// its traffic falls back to local bridge delivery. Returns false when
+  /// no such route existed. Invalidates the flow cache on change.
+  bool remove_overlay_route(std::uint32_t vni, net::MacAddr container_mac);
 
   /// Static ARP entry for the root namespace's L2 domain.
   void add_neighbor(net::Ipv4Addr ip, net::MacAddr mac) {
@@ -271,6 +300,7 @@ class Host {
 
   void container_egress(std::uint32_t vni, net::PacketBuf frame);
   void deliver_local(BridgeBundle& bundle, net::PacketBuf frame);
+  void finish_teardown(overlay::Netns& ns);
 
   sim::Simulator& sim_;
   HostConfig cfg_;

@@ -18,6 +18,23 @@ namespace prism::kernel {
 
 sim::Duration SocketDeliverer::deliver(Skb& skb, sim::Time at,
                                        overlay::Netns& ns) {
+  if (!ns.accepting()) {
+    // Destination namespace is draining or torn down. Every wire frame of
+    // the train (head + GRO chain) drops as kDeadNetns; no delivery stamps
+    // are recorded, so the journey counts as dropped, never as delivered.
+    // The namespace object is a tombstone — observing its state here is
+    // exactly why stale Netns* pointers stay safe to hold.
+    const auto frames =
+        static_cast<std::uint64_t>(1 + skb.gro_chain.size());
+    dead_ns_drops_ += frames;
+    for (std::uint64_t i = 0; i < frames; ++i) {
+      t_dead_ns_drops_->inc();
+      if (faults_ != nullptr) {
+        faults_->drops.record(fault::DropReason::kDeadNetns, skb.priority);
+      }
+    }
+    return 0;
+  }
   skb.ts.socket_enqueue = at;
 #if PRISM_TELEMETRY_ENABLED
   // The journey [nic_rx, socket_enqueue] is complete: attribute it per

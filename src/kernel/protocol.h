@@ -75,6 +75,8 @@ class SocketDeliverer {
   std::uint64_t no_socket_drops() const noexcept { return drops_; }
   /// Frames rejected by receive-side L4 checksum verification.
   std::uint64_t csum_drops() const noexcept { return csum_drops_; }
+  /// Frames addressed to a draining or torn-down namespace.
+  std::uint64_t dead_ns_drops() const noexcept { return dead_ns_drops_; }
   std::uint64_t delivered() const noexcept { return delivered_; }
 
   /// Attaches the host's fault layer (drop attribution + buffer
@@ -94,6 +96,7 @@ class SocketDeliverer {
     t_delivered_ = &reg.counter(prefix + "delivered");
     t_no_socket_drops_ = &reg.counter(prefix + "no_socket_drops");
     t_csum_drops_ = &reg.counter(prefix + "csum_drops");
+    t_dead_ns_drops_ = &reg.counter(prefix + "dead_ns_drops");
   }
 
  private:
@@ -116,10 +119,12 @@ class SocketDeliverer {
   OverloadGovernor* governor_ = nullptr;
   std::uint64_t drops_ = 0;
   std::uint64_t csum_drops_ = 0;
+  std::uint64_t dead_ns_drops_ = 0;
   std::uint64_t delivered_ = 0;
   telemetry::Counter* t_delivered_ = &telemetry::Counter::sink();
   telemetry::Counter* t_no_socket_drops_ = &telemetry::Counter::sink();
   telemetry::Counter* t_csum_drops_ = &telemetry::Counter::sink();
+  telemetry::Counter* t_dead_ns_drops_ = &telemetry::Counter::sink();
 };
 
 }  // namespace prism::kernel

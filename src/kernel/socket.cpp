@@ -28,6 +28,14 @@ void UdpSocket::enqueue(Datagram d, sim::Time at) {
   // The state change must occur at the packet's simulated completion
   // instant, not at the (earlier) instant the poll chunk computed it.
   sim_.schedule_at(at, [this, d = std::move(d)]() mutable {
+    if (closed_) {
+      // The namespace finished draining before this in-flight datagram
+      // landed: account it as a dead-netns drop, never as a delivery.
+      if (faults_ != nullptr) {
+        faults_->drops.record(fault::DropReason::kDeadNetns, d.priority);
+      }
+      return;
+    }
     if (queue_.size() >= capacity_) {
       ++dropped_;
       t_dropped_->inc();
@@ -44,6 +52,20 @@ void UdpSocket::enqueue(Datagram d, sim::Time at) {
     t_depth_->set(static_cast<std::int64_t>(queue_.size()));
     if (on_readable_) on_readable_();
   });
+}
+
+void UdpSocket::close() {
+  if (closed_) return;
+  closed_ = true;
+  queue_.clear();  // datagram dtors recycle payload storage
+  t_depth_->set(0);
+}
+
+void SocketTable::close_all_udp() {
+  // Sockets are tombstoned, not destroyed: applications hold UdpSocket*
+  // across churn, and a closed socket is inert (enqueue counts the drop,
+  // try_recv sees an empty queue) — same retention rule as dead Netns.
+  for (auto& [port, sock] : udp_) sock->close();
 }
 
 void SocketTable::bind_udp(UdpSocket& sock) {

@@ -86,6 +86,13 @@ class UdpSocket {
   std::uint64_t received() const noexcept { return received_; }
   std::uint64_t dropped() const noexcept { return dropped_; }
 
+  /// Closes the socket: purges queued datagrams (their payload storage
+  /// recycles through the BufferPool) and refuses every later enqueue as
+  /// a counted kDeadNetns drop. Called when the owning namespace finishes
+  /// draining; received() is frozen from this instant.
+  void close();
+  bool closed() const noexcept { return closed_; }
+
   /// Registers receive-buffer counters under `prefix`. Several sockets
   /// may share one prefix (aggregate rcvbuf accounting per host).
   void bind_telemetry(telemetry::Registry& reg, const std::string& prefix) {
@@ -111,6 +118,7 @@ class UdpSocket {
   std::size_t capacity_;
   std::deque<Datagram> queue_;
   std::function<void()> on_readable_;
+  bool closed_ = false;
   fault::FaultLayer* faults_ = nullptr;
   std::uint64_t received_ = 0;
   std::uint64_t dropped_ = 0;
@@ -127,6 +135,14 @@ class SocketTable {
   void bind_udp(UdpSocket& sock);
   void unbind_udp(std::uint16_t port);
   UdpSocket* lookup_udp(std::uint16_t port);
+
+  /// Closes every bound UDP socket (namespace teardown). The closed
+  /// sockets stay in the demux as tombstones: applications and deferred
+  /// enqueues may still hold pointers, and a closed socket turns every
+  /// arrival into a counted dead-netns drop.
+  void close_all_udp();
+
+  std::size_t udp_count() const noexcept { return udp_.size(); }
 
   /// Registers a TCP endpoint under the flow as seen in *incoming*
   /// frames: (remote -> local). Throws std::logic_error on duplicates.

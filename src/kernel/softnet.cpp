@@ -21,6 +21,23 @@ sim::Duration BacklogStage::process_one(SkbPtr skb, sim::Time at,
     }
     return cost;
   }
+  if (!skb->dst_netns->accepting()) {
+    // Destination namespace began draining after this skb was routed at
+    // the bridge (teardown between classification and delivery). The
+    // pointer is a tombstone, safe to inspect; the packet drops with one
+    // kDeadNetns record per carried frame, matching the deliverer's
+    // per-frame accounting.
+    ++dropped_;
+    t_dropped_->inc();
+    if (faults_ != nullptr) {
+      const auto frames =
+          static_cast<std::uint64_t>(1 + skb->gro_chain.size());
+      for (std::uint64_t i = 0; i < frames; ++i) {
+        faults_->drops.record(fault::DropReason::kDeadNetns, skb->priority);
+      }
+    }
+    return cost;
+  }
   ++delivered_;
   t_delivered_->inc();
   cost += deliverer_.deliver(*skb, at + cost, *skb->dst_netns);

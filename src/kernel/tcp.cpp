@@ -25,7 +25,10 @@ net::PacketBuf TcpEndpoint::build_segment(
     bool push) const {
   net::FrameSpec spec;
   spec.src_mac = cfg_.ns->mac();
-  spec.dst_mac = cfg_.ns->neighbor(cfg_.remote_ip);
+  // A missing neighbour yields a zero MAC: the segment transmits but no
+  // receiver claims it, so it degrades to an unroutable drop downstream
+  // instead of aborting the lane.
+  spec.dst_mac = cfg_.ns->neighbor(cfg_.remote_ip).value_or(net::MacAddr{});
   spec.src_ip = cfg_.local_ip;
   spec.dst_ip = cfg_.remote_ip;
   spec.src_port = cfg_.local_port;

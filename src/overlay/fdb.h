@@ -13,14 +13,22 @@
 // mis-delivery. An `add` that replaces an existing MAC's port is counted
 // separately (`overwrites`) — silent overwrite is exactly the event a
 // cached transform must observe.
+//
+// Misses split two ways: a MAC the bridge never learned (wiring bug or
+// foreign traffic) versus a MAC that was explicitly `remove`d (container
+// teardown / migration). The latter is counted separately as an
+// *unlearned* miss so churn-induced loss is attributable in telemetry.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "net/mac.h"
+#include "telemetry/metrics.h"
 
 namespace prism::overlay {
 
@@ -32,7 +40,8 @@ class Fdb {
   /// Maps `mac` to `container`. Returns true when the table changed:
   /// either a new entry, or an existing MAC remapped to a different port
   /// (counted in overwrites()). Re-adding the identical mapping is a
-  /// no-op and returns false. Any change bumps generation().
+  /// no-op and returns false. Any change bumps generation(). A re-added
+  /// MAC is no longer "unlearned": later misses count as plain misses.
   bool add(net::MacAddr mac, Netns& container) {
     auto [it, inserted] = entries_.try_emplace(mac, &container);
     if (!inserted) {
@@ -40,24 +49,32 @@ class Fdb {
       it->second = &container;
       ++overwrites_;
     }
+    removed_.erase(mac);
     bump();
     return true;
   }
 
   /// Removes `mac`. Returns false when no such entry existed (so a typo'd
   /// remove is distinguishable from success); a real removal bumps
-  /// generation().
+  /// generation() and marks the MAC unlearned.
   bool remove(net::MacAddr mac) {
     if (entries_.erase(mac) == 0) return false;
+    removed_.insert(mac);
     bump();
     return true;
   }
 
-  /// Returns the container behind `mac`, or nullptr (counted as a miss).
+  /// Returns the container behind `mac`, or nullptr (counted as a miss;
+  /// additionally as an unlearned miss when the MAC was removed earlier).
   Netns* lookup(net::MacAddr mac) {
     const auto it = entries_.find(mac);
     if (it == entries_.end()) {
       ++misses_;
+      t_miss_->inc();
+      if (removed_.count(mac) != 0) {
+        ++unlearned_misses_;
+        t_unlearned_miss_->inc();
+      }
       return nullptr;
     }
     return it->second;
@@ -65,6 +82,9 @@ class Fdb {
 
   std::size_t size() const noexcept { return entries_.size(); }
   std::uint64_t misses() const noexcept { return misses_; }
+  /// Misses on MACs that were explicitly removed (teardown / migration),
+  /// as opposed to never-learned MACs. Subset of misses().
+  std::uint64_t unlearned_misses() const noexcept { return unlearned_misses_; }
   /// `add` calls that replaced an existing MAC's port with a different one.
   std::uint64_t overwrites() const noexcept { return overwrites_; }
   /// Monotonic mutation counter: incremented by every table change.
@@ -76,6 +96,13 @@ class Fdb {
     mutation_hook_ = std::move(hook);
   }
 
+  /// Registers miss counters under `prefix` (e.g. "overlay.br42.fdb.miss"
+  /// and "overlay.br42.fdb.unlearned_miss").
+  void bind_telemetry(telemetry::Registry& reg, const std::string& prefix) {
+    t_miss_ = &reg.counter(prefix + "fdb.miss");
+    t_unlearned_miss_ = &reg.counter(prefix + "fdb.unlearned_miss");
+  }
+
  private:
   void bump() {
     ++generation_;
@@ -83,10 +110,14 @@ class Fdb {
   }
 
   std::unordered_map<net::MacAddr, Netns*> entries_;
+  std::unordered_set<net::MacAddr> removed_;
   std::uint64_t misses_ = 0;
+  std::uint64_t unlearned_misses_ = 0;
   std::uint64_t overwrites_ = 0;
   std::uint64_t generation_ = 0;
   std::function<void()> mutation_hook_;
+  telemetry::Counter* t_miss_ = &telemetry::Counter::sink();
+  telemetry::Counter* t_unlearned_miss_ = &telemetry::Counter::sink();
 };
 
 }  // namespace prism::overlay

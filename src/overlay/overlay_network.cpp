@@ -1,5 +1,7 @@
 #include "overlay/overlay_network.h"
 
+#include <stdexcept>
+
 namespace prism::overlay {
 
 Netns& OverlayNetwork::add_container(kernel::Host& host,
@@ -20,6 +22,77 @@ Netns& OverlayNetwork::add_container(kernel::Host& host,
   }
   endpoints_.push_back(Endpoint{&host, &ns});
   return ns;
+}
+
+OverlayNetwork::Endpoint& OverlayNetwork::endpoint_of(const Netns& ns) {
+  for (auto& e : endpoints_) {
+    if (e.ns == &ns) return e;
+  }
+  throw std::invalid_argument("OverlayNetwork: unknown container " +
+                              ns.name());
+}
+
+kernel::Host& OverlayNetwork::host_of(const Netns& ns) {
+  return *endpoint_of(ns).host;
+}
+
+void OverlayNetwork::stop_container(Netns& ns, sim::Duration drain) {
+  Endpoint& e = endpoint_of(ns);
+  e.host->stop_container(*e.ns, drain);
+}
+
+Netns& OverlayNetwork::restart_container(Netns& ns) {
+  Endpoint& e = endpoint_of(ns);
+  Netns& fresh = e.host->restart_container(*e.ns);
+  // The fresh namespace starts with an empty neighbour table; re-wire it
+  // against every other endpoint. Peers keep their entries (the IP/MAC
+  // identity is unchanged).
+  for (const auto& other : endpoints_) {
+    if (other.ns == e.ns) continue;
+    fresh.add_neighbor(other.ns->ip(), other.ns->mac());
+  }
+  e.ns = &fresh;
+  return fresh;
+}
+
+Netns& OverlayNetwork::migrate_container(Netns& ns, kernel::Host& dst,
+                                         sim::Duration drain) {
+  Endpoint& e = endpoint_of(ns);
+  if (e.host == &dst) {
+    throw std::invalid_argument(
+        "OverlayNetwork: migrate destination already runs " + ns.name());
+  }
+  // Source side: the old incarnation drains (its FDB entry unlearns and
+  // the flow-cache generation bumps immediately, so packets still in the
+  // source pipeline drop as counted kDeadNetns / unlearned FDB misses).
+  e.host->stop_container(*e.ns, drain);
+
+  // Destination side: the new incarnation keeps the identity, so peers'
+  // ARP entries stay valid; it is live immediately.
+  Netns& fresh = dst.adopt_container(ns.name(), ns.ip(), ns.mac(), vni_);
+
+  // Control-plane rewiring, in invalidation-safe order: every route
+  // update bumps the affected host's flow-cache generation.
+  for (const auto& other : endpoints_) {
+    if (other.ns == e.ns) continue;
+    fresh.add_neighbor(other.ns->ip(), other.ns->mac());
+    if (other.host != &dst) {
+      // Remote peers (including the source host, if it still runs other
+      // endpoints) now reach this MAC behind dst's VTEP; dst needs return
+      // routes to them.
+      dst.add_overlay_route(vni_, other.ns->mac(), other.host->ip(),
+                            other.host->mac());
+      other.host->add_overlay_route(vni_, fresh.mac(), dst.ip(),
+                                    dst.mac());
+    }
+  }
+  // dst itself held a VTEP route for this MAC while it was remote;
+  // withdraw it so container_egress falls back to local bridge delivery.
+  dst.remove_overlay_route(vni_, fresh.mac());
+
+  e.host = &dst;
+  e.ns = &fresh;
+  return fresh;
 }
 
 }  // namespace prism::overlay

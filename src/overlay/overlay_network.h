@@ -29,6 +29,28 @@ class OverlayNetwork {
   Netns& add_container(kernel::Host& host, const std::string& name,
                        net::Ipv4Addr ip);
 
+  /// Begins teardown of `ns` on its current host (see
+  /// Host::stop_container). The endpoint record is kept: a later
+  /// restart_container or migrate_container revives it.
+  void stop_container(Netns& ns, sim::Duration drain = 0);
+
+  /// Creates a fresh incarnation of a stopped container on its current
+  /// host and re-wires its neighbour table against every other endpoint.
+  /// Returns the new namespace; the endpoint record now points at it.
+  Netns& restart_container(Netns& ns);
+
+  /// Migrates `ns` to `dst`: stops it on the source host (draining for
+  /// `drain`), creates the new incarnation on `dst` with the same
+  /// identity, and repoints every host's VTEP routes (withdrawing `dst`'s
+  /// own route so delivery goes local). Returns the new namespace.
+  Netns& migrate_container(Netns& ns, kernel::Host& dst,
+                           sim::Duration drain = 0);
+
+  /// The host currently running `ns` (or that ran it, for a stopped
+  /// endpoint). Throws std::invalid_argument for a namespace this overlay
+  /// never managed.
+  kernel::Host& host_of(const Netns& ns);
+
   std::size_t container_count() const noexcept {
     return endpoints_.size();
   }
@@ -38,6 +60,8 @@ class OverlayNetwork {
     kernel::Host* host;
     Netns* ns;
   };
+
+  Endpoint& endpoint_of(const Netns& ns);
 
   std::uint32_t vni_;
   std::vector<Endpoint> endpoints_;

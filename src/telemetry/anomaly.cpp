@@ -56,6 +56,8 @@ const char* anomaly_kind_name(AnomalyKind kind) noexcept {
       return "drop_burst";
     case AnomalyKind::kGovernorFlap:
       return "governor_flap";
+    case AnomalyKind::kConvergenceTimeout:
+      return "convergence_timeout";
     case AnomalyKind::kCount:
       break;
   }
@@ -111,6 +113,37 @@ void AnomalyBank::reset() {
   }
   drops_ = BurstWindow{};
   flaps_ = BurstWindow{};
+  convergence_.fill(ConvergenceWatch{});
+  recoveries_.clear();
+}
+
+bool AnomalyBank::convergence_watch_armed(int level) const noexcept {
+  if (level < 0 || level >= static_cast<int>(convergence_.size())) {
+    return false;
+  }
+  return convergence_[static_cast<std::size_t>(level)].armed;
+}
+
+void AnomalyBank::note_disruption(int level, sim::Time at) {
+#if PRISM_TELEMETRY_ENABLED
+  if (!armed_ || config_.convergence_deadline_ns <= 0 ||
+      config_.slo_p99_ns <= 0) {
+    return;
+  }
+  const int c = std::clamp(level, 0, static_cast<int>(slo_.size()) - 1);
+  ConvergenceWatch& cw = convergence_[static_cast<std::size_t>(c)];
+  cw.armed = true;
+  cw.disrupted_at = at;
+  // Restart the class's SLO window at the disruption instant: samples
+  // taken before the disruption must not count toward (or against) the
+  // post-disruption recovery judgement.
+  SloWindow& w = slo_[static_cast<std::size_t>(c)];
+  w.hist.clear();
+  w.start = at;
+#else
+  (void)level;
+  (void)at;
+#endif
 }
 
 void AnomalyBank::fire(AnomalyFinding finding) {
@@ -170,12 +203,13 @@ void AnomalyBank::on_delivery(int level, sim::Duration e2e_ns, sim::Time at) {
   const int c = std::clamp(level, 0, static_cast<int>(slo_.size()) - 1);
   SloWindow& w = slo_[static_cast<std::size_t>(c)];
   if (w.start < 0) w.start = at;
+  ConvergenceWatch& cw = convergence_[static_cast<std::size_t>(c)];
   if (at >= w.start + config_.slo_window_ns) {
     // Finalize the window that just closed; empty skipped windows can
     // never breach, so jump straight to the window containing `at`.
-    if (w.hist.total() > 0 && c >= 1) {
+    if (w.hist.total() > 0) {
       const std::uint64_t p99 = w.hist.quantile(0.99);
-      if (p99 > static_cast<std::uint64_t>(config_.slo_p99_ns)) {
+      if (c >= 1 && p99 > static_cast<std::uint64_t>(config_.slo_p99_ns)) {
         AnomalyFinding f;
         f.kind = AnomalyKind::kSloBreach;
         f.at = w.start + config_.slo_window_ns;
@@ -184,12 +218,33 @@ void AnomalyBank::on_delivery(int level, sim::Duration e2e_ns, sim::Time at) {
         f.threshold = static_cast<double>(config_.slo_p99_ns);
         fire(std::move(f));
       }
+      // A fully post-disruption window back under the target closes the
+      // class's convergence watch with a recovery record.
+      if (cw.armed && w.start >= cw.disrupted_at &&
+          p99 <= static_cast<std::uint64_t>(config_.slo_p99_ns)) {
+        cw.armed = false;
+        recoveries_.push_back(ConvergenceRecovery{
+            c, cw.disrupted_at, w.start + config_.slo_window_ns});
+      }
     }
     w.hist.clear();
     w.start += config_.slo_window_ns *
                ((at - w.start) / config_.slo_window_ns);
   }
   w.hist.record(static_cast<std::uint64_t>(e2e_ns));
+  // Still watching past the deadline: the class never produced a
+  // compliant window in time. Fires once, then the watch disarms.
+  if (cw.armed && config_.convergence_deadline_ns > 0 &&
+      at > cw.disrupted_at + config_.convergence_deadline_ns) {
+    cw.armed = false;
+    AnomalyFinding f;
+    f.kind = AnomalyKind::kConvergenceTimeout;
+    f.at = at;
+    f.level = c;
+    f.value = static_cast<double>(at - cw.disrupted_at);
+    f.threshold = static_cast<double>(config_.convergence_deadline_ns);
+    fire(std::move(f));
+  }
 #else
   (void)level;
   (void)e2e_ns;
@@ -292,6 +347,8 @@ void anomalies_json(JsonWriter& w, const AnomalyBank& bank,
            static_cast<std::int64_t>(cfg.drop_burst_window_ns));
   w.member("flap_threshold", static_cast<std::uint64_t>(cfg.flap_threshold));
   w.member("flap_window_ns", static_cast<std::int64_t>(cfg.flap_window_ns));
+  w.member("convergence_deadline_ns",
+           static_cast<std::int64_t>(cfg.convergence_deadline_ns));
   w.member("max_findings", static_cast<std::uint64_t>(cfg.max_findings));
   w.member("freeze_events", static_cast<std::uint64_t>(cfg.freeze_events));
   w.end_object();
@@ -323,6 +380,17 @@ void anomalies_json(JsonWriter& w, const AnomalyBank& bank,
            bank.max_inversion_wait_ns() > 0
                ? bank.worst_inversion_flow().to_string()
                : std::string("none"));
+  w.key("recoveries").begin_array();
+  for (const AnomalyBank::ConvergenceRecovery& r : bank.recoveries()) {
+    w.begin_object();
+    w.member("class", r.level);
+    w.member("disrupted_at_ns", static_cast<std::int64_t>(r.disrupted_at));
+    w.member("recovered_at_ns", static_cast<std::int64_t>(r.recovered_at));
+    w.member("recovery_ns",
+             static_cast<std::int64_t>(r.recovered_at - r.disrupted_at));
+    w.end_object();
+  }
+  w.end_array();
   w.key("findings").begin_array();
   for (const AnomalyFinding& f : bank.findings()) {
     w.begin_object();

@@ -37,6 +37,7 @@ enum class AnomalyKind : std::uint8_t {
   kSloBreach,       ///< a class's windowed p99 exceeded the SLO target
   kDropBurst,       ///< >= N drops within one window
   kGovernorFlap,    ///< >= N governor transitions within one window
+  kConvergenceTimeout,  ///< a class's p99 never recovered after a disruption
   kCount,
 };
 
@@ -66,6 +67,10 @@ struct AnomalyConfig {
   /// (0 = detector off).
   std::uint32_t flap_threshold = 0;
   sim::Duration flap_window_ns = sim::milliseconds(10);
+  /// Convergence timeout fires when a class's windowed p99 has not
+  /// returned to <= slo_p99_ns within this long of a note_disruption()
+  /// call (0 = detector off; requires slo_p99_ns > 0 as the target).
+  sim::Duration convergence_deadline_ns = 0;
   /// Findings retained with full detail; further firings only count.
   std::size_t max_findings = 32;
   /// Flight-recorder events frozen into each finding.
@@ -136,6 +141,16 @@ class AnomalyBank {
   void on_delivery(int level, sim::Duration e2e_ns, sim::Time at);
   /// From the drop ledger observer.
   void on_drop(int reason, int level, sim::Time at);
+  /// From the churn harness: a disruption (container stop / migration)
+  /// touched class `level` at time `at`. Arms a convergence watch for
+  /// that class: the first fully post-disruption SLO window whose p99 is
+  /// back at or under slo_p99_ns records a recovery; if no window
+  /// recovers within convergence_deadline_ns, kConvergenceTimeout fires
+  /// once. Re-arming an already-armed class restarts its clock (the
+  /// flow was disrupted again before it converged). The class's current
+  /// SLO window restarts at `at` so pre-disruption samples never count
+  /// toward the recovery judgement.
+  void note_disruption(int level, sim::Time at);
   /// From the overload governor (state codes as ints, cause as text).
   void on_governor_transition(sim::Time at, int from_state, int to_state,
                               const char* cause);
@@ -155,6 +170,21 @@ class AnomalyBank {
   const net::FiveTuple& worst_inversion_flow() const noexcept {
     return worst_inversion_flow_;
   }
+
+  /// One convergence-watch success: the class's p99 was back under the
+  /// SLO target by `recovered_at` (the close of the first compliant
+  /// post-disruption window).
+  struct ConvergenceRecovery {
+    int level = 0;
+    sim::Time disrupted_at = 0;
+    sim::Time recovered_at = 0;
+  };
+  const std::vector<ConvergenceRecovery>& recoveries() const noexcept {
+    return recoveries_;
+  }
+  /// True while a note_disruption() watch for `level` is still pending
+  /// (neither recovered nor timed out).
+  bool convergence_watch_armed(int level) const noexcept;
 
   void reset();
 
@@ -185,6 +215,13 @@ class AnomalyBank {
   };
   BurstWindow drops_;
   BurstWindow flaps_;
+
+  struct ConvergenceWatch {
+    bool armed = false;
+    sim::Time disrupted_at = 0;
+  };
+  std::array<ConvergenceWatch, kNumAnomalyClasses> convergence_{};
+  std::vector<ConvergenceRecovery> recoveries_;
 };
 
 /// Renders the "prism/anomalies" proc document: config, per-kind fired

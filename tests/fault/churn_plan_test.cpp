@@ -1,0 +1,150 @@
+// ChurnPlan: seeded expansion into a sorted stop/restart/migrate schedule
+// that is a pure function of its config.
+#include "fault/churn.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/time.h"
+
+namespace prism::fault {
+namespace {
+
+ChurnConfig base_config() {
+  ChurnConfig cfg;
+  cfg.seed = 42;
+  cfg.start = sim::milliseconds(10);
+  cfg.horizon = sim::milliseconds(110);
+  cfg.pairs = 2;
+  cfg.containers_per_pair = 2;
+  cfg.disruptions_per_container = 3;
+  cfg.migrate_fraction = 0.5;
+  return cfg;
+}
+
+TEST(ChurnPlanTest, SameConfigSameSchedule) {
+  ChurnPlan a, b;
+  a.configure(base_config());
+  b.configure(base_config());
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].at, b.events()[i].at);
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].pair, b.events()[i].pair);
+    EXPECT_EQ(a.events()[i].container, b.events()[i].container);
+  }
+
+  ChurnConfig other = base_config();
+  other.seed = 43;
+  ChurnPlan c;
+  c.configure(other);
+  bool differs = c.events().size() != a.events().size();
+  for (std::size_t i = 0; !differs && i < a.events().size(); ++i) {
+    differs = c.events()[i].at != a.events()[i].at ||
+              c.events()[i].kind != a.events()[i].kind;
+  }
+  EXPECT_TRUE(differs) << "different seeds produced identical schedules";
+}
+
+TEST(ChurnPlanTest, EventsSortedAndInsideWindow) {
+  ChurnPlan plan;
+  plan.configure(base_config());
+  const auto& cfg = plan.config();
+  ASSERT_FALSE(plan.events().empty());
+  sim::Time prev = 0;
+  for (const auto& e : plan.events()) {
+    EXPECT_GE(e.at, prev);
+    prev = e.at;
+    EXPECT_GE(e.at, cfg.start);
+    // Every cycle (drain + restart) completes before the horizon.
+    EXPECT_LE(e.at + cfg.drain + cfg.restart_delay, cfg.horizon);
+    EXPECT_GE(e.pair, 0);
+    EXPECT_LT(e.pair, cfg.pairs);
+    EXPECT_GE(e.container, 0);
+    EXPECT_LT(e.container, cfg.containers_per_pair);
+  }
+}
+
+TEST(ChurnPlanTest, EveryStopHasItsRestart) {
+  ChurnPlan plan;
+  plan.configure(base_config());
+  const auto& cfg = plan.config();
+  EXPECT_EQ(plan.count(ChurnKind::kStop), plan.count(ChurnKind::kRestart));
+  // Each container's events alternate stop -> restart at exactly
+  // drain + restart_delay, with migrations standing alone.
+  std::map<std::pair<int, int>, std::vector<ChurnEvent>> per;
+  for (const auto& e : plan.events()) per[{e.pair, e.container}].push_back(e);
+  for (const auto& [key, evs] : per) {
+    for (std::size_t i = 0; i < evs.size(); ++i) {
+      if (evs[i].kind == ChurnKind::kStop) {
+        ASSERT_LT(i + 1, evs.size()) << "stop without restart";
+        EXPECT_EQ(evs[i + 1].kind, ChurnKind::kRestart);
+        EXPECT_EQ(evs[i + 1].at,
+                  evs[i].at + cfg.drain + cfg.restart_delay);
+      } else if (evs[i].kind == ChurnKind::kRestart) {
+        ASSERT_GT(i, 0u);
+        EXPECT_EQ(evs[i - 1].kind, ChurnKind::kStop);
+      }
+    }
+  }
+}
+
+TEST(ChurnPlanTest, DisruptionsOfOneContainerNeverOverlap) {
+  ChurnPlan plan;
+  plan.configure(base_config());
+  const auto& cfg = plan.config();
+  std::map<std::pair<int, int>, sim::Time> busy_until;
+  std::map<std::pair<int, int>, int> disruptions;
+  for (const auto& e : plan.events()) {
+    const auto key = std::make_pair(e.pair, e.container);
+    if (e.kind == ChurnKind::kRestart) continue;
+    ++disruptions[key];
+    const auto it = busy_until.find(key);
+    if (it != busy_until.end()) {
+      EXPECT_GE(e.at, it->second)
+          << "disruption began before the previous cycle + min_gap ended";
+    }
+    busy_until[key] = e.at + cfg.drain + cfg.restart_delay + cfg.min_gap;
+  }
+  for (const auto& [key, n] : disruptions) {
+    EXPECT_EQ(n, cfg.disruptions_per_container);
+  }
+  EXPECT_EQ(disruptions.size(),
+            static_cast<std::size_t>(cfg.pairs * cfg.containers_per_pair));
+}
+
+TEST(ChurnPlanTest, MigrateFractionExtremes) {
+  ChurnConfig cfg = base_config();
+  cfg.migrate_fraction = 0.0;
+  ChurnPlan never;
+  never.configure(cfg);
+  EXPECT_EQ(never.count(ChurnKind::kMigrate), 0u);
+  EXPECT_GT(never.count(ChurnKind::kStop), 0u);
+
+  cfg.migrate_fraction = 1.0;
+  ChurnPlan always;
+  always.configure(cfg);
+  EXPECT_EQ(always.count(ChurnKind::kStop), 0u);
+  EXPECT_GT(always.count(ChurnKind::kMigrate), 0u);
+}
+
+TEST(ChurnPlanTest, TooTightWindowExpandsEmpty) {
+  ChurnConfig cfg = base_config();
+  // Window shorter than one drain+restart+gap cycle: no disruption fits.
+  cfg.horizon = cfg.start + cfg.drain;
+  ChurnPlan plan;
+  plan.configure(cfg);
+  EXPECT_TRUE(plan.events().empty());
+}
+
+TEST(ChurnPlanTest, KindNames) {
+  EXPECT_STREQ(churn_kind_name(ChurnKind::kStop), "stop");
+  EXPECT_STREQ(churn_kind_name(ChurnKind::kRestart), "restart");
+  EXPECT_STREQ(churn_kind_name(ChurnKind::kMigrate), "migrate");
+}
+
+}  // namespace
+}  // namespace prism::fault
